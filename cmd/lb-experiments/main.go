@@ -1,0 +1,62 @@
+// Command lb-experiments regenerates every experiment in EXPERIMENTS.md:
+// for each table/figure of the paper (and each quantitative claim in its
+// text), it runs the corresponding workload and prints the measured
+// series. See DESIGN.md §3 for the experiment index.
+//
+// Usage:
+//
+//	lb-experiments [-exp all|fig3|fig5|wco|branch|ivm|live|treap|repair|solve|predict] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(quick bool)
+}
+
+var experiments = []experiment{
+	{"fig3", "E5: unary leapfrog trace and sensitivity intervals (paper Figure 3)", runFig3},
+	{"fig5", "E1: 3-clique runtime vs edges — LFTJ vs pairwise joins (paper Figure 5)", runFig5},
+	{"wco", "E6: worst-case-optimality on Loomis–Whitney instances", runWCO},
+	{"branch", "E2: O(1) branching; branches per second vs database size", runBranch},
+	{"ivm", "E4: incremental maintenance vs recompute/counting/DRed/sensitivity", runIVM},
+	{"live", "E7: live programming — addblock incremental vs full re-evaluation", runLive},
+	{"treap", "E8: treap set operations and sharing-aware equality", runTreap},
+	{"repair", "E3: transaction repair vs row-level locking across α (paper §3.4)", runRepair},
+	{"solve", "E9: LP/MIP grounding, solving, and incremental re-grounding", runSolve},
+	{"predict", "E10: predict rules — learn and eval throughput and accuracy", runPredict},
+}
+
+func main() {
+	var names []string
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+	exp := flag.String("exp", "all", "experiment to run: all|"+strings.Join(names, "|"))
+	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+	flag.Parse()
+
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s — %s ===\n", e.name, e.desc)
+		e.run(*quick)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

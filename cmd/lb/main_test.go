@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logicblox"
+)
+
+// runScript feeds a script to a fresh REPL and returns the output.
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	r := &repl{db: logicblox.Open(), branch: logicblox.DefaultBranch, out: &out}
+	r.run(bufio.NewScanner(strings.NewReader(script)), false)
+	return out.String()
+}
+
+func TestReplEndToEnd(t *testing.T) {
+	out := runScript(t, `
+:addblock catalog <<
+price[p] = v -> string(p), float(v).
+cheap(p) <- price[p] = v, v < 2.0.
+>>
++price["a"] = 1.0. +price["b"] = 3.0.
+?- _(p) <- cheap(p).
+:rel price
+:blocks
+`)
+	for _, want := range []string{
+		"installed block catalog",
+		"ok (2 changes)",
+		`("a")`,
+		"(1 rows)",
+		"(2 tuples)",
+		"catalog",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplBranching(t *testing.T) {
+	out := runScript(t, `
+:addblock s <<
+n(x) -> int(x).
+>>
++n(1).
+:branch main other
+:checkout other
++n(2).
+:branches
+:checkout main
+:rel n
+`)
+	if !strings.Contains(out, "* other") && !strings.Contains(out, "other") {
+		t.Errorf("branch listing missing:\n%s", out)
+	}
+	// Back on main, n has only one tuple.
+	if !strings.Contains(out, "(1 tuples)") {
+		t.Errorf("branch isolation broken:\n%s", out)
+	}
+}
+
+func TestReplErrors(t *testing.T) {
+	out := runScript(t, `
+:nonsense
+:rel
++bad syntax here
+:checkout missing
+:solve
+`)
+	for _, want := range []string{
+		"unknown command",
+		"usage: :rel",
+		"error:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplQuit(t *testing.T) {
+	out := runScript(t, ":quit\n+never(1).\n")
+	if strings.Contains(out, "ok (") {
+		t.Errorf("lines after :quit were executed:\n%s", out)
+	}
+}
+
+func TestReplSolve(t *testing.T) {
+	out := runScript(t, `
+:addblock plan <<
+profitPer[p] = v -> Item(p), float(v).
+Buy[p] = v -> Item(p), float(v).
+cap[] = v -> float(v).
+totalBuy[] = u <- agg<<u = sum(x)>> Buy[p] = x.
+totalProfit[] = u <- agg<<u = sum(z)>> Buy[p] = x, profitPer[p] = y, z = x * y.
+Item(p) -> Buy[p] >= 0.0.
+totalBuy[] = u, cap[] = v -> u <= v.
+lang:solve:variable(`+"`Buy"+`).
+lang:solve:max(`+"`totalProfit"+`).
+>>
++Item("x"). +profitPer["x"] = 2.0. +cap[] = 5.0.
+:solve
+:rel Buy
+`)
+	if !strings.Contains(out, "solved: objective = 10") {
+		t.Errorf("solve output missing:\n%s", out)
+	}
+}
+
+func TestReplImportCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sales.csv")
+	if err := os.WriteFile(path, []byte("widget,3,1.5\ngadget,7,2.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runScript(t, `
+:addblock s <<
+sales(p, n, v) -> string(p), int(n), float(v).
+>>
+:import sales `+path+`
+?- _(p) <- sales(p, n, v), n > 5.
+`)
+	if !strings.Contains(out, "imported 2 rows into sales") {
+		t.Errorf("import missing:\n%s", out)
+	}
+	if !strings.Contains(out, `("gadget")`) {
+		t.Errorf("query over imported data failed:\n%s", out)
+	}
+}
+
+func TestReplHistoryAndTimeTravel(t *testing.T) {
+	out := runScript(t, `
+:addblock s <<
+n(x) -> int(x).
+>>
++n(1).
++n(2).
+:history
+:branchat 1 past
+:checkout past
+:rel n
+`)
+	if !strings.Contains(out, "branch=main") {
+		t.Errorf("history missing:\n%s", out)
+	}
+	// Version 1 is right after the block install, before any +n: 0 tuples.
+	if !strings.Contains(out, "(0 tuples)") {
+		t.Errorf("time travel returned wrong state:\n%s", out)
+	}
+}
+
+func TestReplSaveOpen(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "db.lbsnap")
+	out := runScript(t, `
+:addblock s <<
+n(x) -> int(x).
+>>
++n(1). +n(2).
+:save `+snap+`
++n(3).
+:open `+snap+`
+:rel n
+`)
+	if !strings.Contains(out, "saved") || !strings.Contains(out, "opened") {
+		t.Fatalf("save/open missing:\n%s", out)
+	}
+	// After reopening the snapshot, n(3) is gone: 2 tuples.
+	if !strings.Contains(out, "(2 tuples)") {
+		t.Errorf("snapshot state wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module logicblox
+
+go 1.22

@@ -1,0 +1,362 @@
+// Package ast defines the abstract syntax of LogiQL (paper §2.2): typed
+// predicates in 6NF, derivation rules (including aggregation P2P rules and
+// predict rules), integrity constraints, reactive rules over delta and
+// versioned predicates, and the lang: directives for prescriptive
+// analytics.
+package ast
+
+import (
+	"strings"
+
+	"logicblox/internal/tuple"
+)
+
+// DeltaKind marks reactive-rule predicate decorations (paper §2.2.1):
+// +R (insertions), -R (deletions), ^R (upsert: shorthand for a combined
+// +R / -R).
+type DeltaKind uint8
+
+// Delta markers.
+const (
+	DeltaNone DeltaKind = iota
+	DeltaPlus
+	DeltaMinus
+	DeltaHat
+)
+
+func (d DeltaKind) String() string {
+	switch d {
+	case DeltaPlus:
+		return "+"
+	case DeltaMinus:
+		return "-"
+	case DeltaHat:
+		return "^"
+	default:
+		return ""
+	}
+}
+
+// Term is a value-producing expression: a variable, constant, arithmetic
+// expression, functional-predicate application, or the wildcard.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var is a variable reference.
+type Var struct{ Name string }
+
+// Const is a literal constant.
+type Const struct{ Val tuple.Value }
+
+// Wildcard is the anonymous term "_": an existentially quantified,
+// don't-care position.
+type Wildcard struct{}
+
+// Arith is a binary arithmetic expression over numeric terms.
+type Arith struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Term
+}
+
+// FuncApp is a functional-predicate application used as a term, e.g.
+// sellingPrice[sku] in the abbreviated rule syntax, possibly versioned
+// (sales@start[...] in reactive rules); the compiler desugars it into an
+// auxiliary body atom binding a fresh variable.
+type FuncApp struct {
+	Pred    string
+	AtStart bool
+	Args    []Term
+}
+
+func (Var) isTerm()      {}
+func (Const) isTerm()    {}
+func (Wildcard) isTerm() {}
+func (Arith) isTerm()    {}
+func (FuncApp) isTerm()  {}
+
+func (v Var) String() string    { return v.Name }
+func (c Const) String() string  { return c.Val.String() }
+func (Wildcard) String() string { return "_" }
+func (a Arith) String() string {
+	return "(" + a.L.String() + " " + string(a.Op) + " " + a.R.String() + ")"
+}
+func (f FuncApp) String() string {
+	v := ""
+	if f.AtStart {
+		v = "@start"
+	}
+	return f.Pred + v + "[" + termList(f.Args) + "]"
+}
+
+func termList(ts []Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Atom is a predicate occurrence. LogiQL predicates come in two shapes
+// (paper §2.2.1): relational R(x1..xn) and functional R[x1..xn-1] = xn.
+// For the functional shape, Value is non-nil and Args holds the key terms.
+type Atom struct {
+	Pred    string
+	Delta   DeltaKind // reactive decoration on the predicate
+	AtStart bool      // R@start: the content at transaction start
+	Args    []Term
+	Value   Term // non-nil for the functional (bracket) shape
+}
+
+// Arity returns the number of columns the atom's predicate has under this
+// occurrence.
+func (a *Atom) Arity() int {
+	n := len(a.Args)
+	if a.Value != nil {
+		n++
+	}
+	return n
+}
+
+// AllTerms returns key terms plus the value term, if any.
+func (a *Atom) AllTerms() []Term {
+	if a.Value == nil {
+		return a.Args
+	}
+	out := make([]Term, 0, len(a.Args)+1)
+	out = append(out, a.Args...)
+	out = append(out, a.Value)
+	return out
+}
+
+// Functional reports whether the atom uses the bracket (functional) shape.
+func (a *Atom) Functional() bool { return a.Value != nil }
+
+func (a *Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Delta.String())
+	b.WriteString(a.Pred)
+	if a.AtStart {
+		b.WriteString("@start")
+	}
+	if a.Value != nil {
+		b.WriteByte('[')
+		b.WriteString(termList(a.Args))
+		b.WriteString("] = ")
+		b.WriteString(a.Value.String())
+	} else {
+		b.WriteByte('(')
+		b.WriteString(termList(a.Args))
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// CmpOp is a comparison operator.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpEq CmpOp = "="
+	OpNe CmpOp = "!="
+	OpLt CmpOp = "<"
+	OpLe CmpOp = "<="
+	OpGt CmpOp = ">"
+	OpGe CmpOp = ">="
+)
+
+// Comparison is a builtin comparison literal. An "=" comparison whose one
+// side is an unbound variable acts as a binding (assignment).
+type Comparison struct {
+	Op   CmpOp
+	L, R Term
+}
+
+func (c *Comparison) String() string {
+	return c.L.String() + " " + string(c.Op) + " " + c.R.String()
+}
+
+// Literal is one conjunct of a rule body or constraint side: a (possibly
+// negated) atom or a comparison.
+type Literal struct {
+	Negated bool
+	Atom    *Atom
+	Cmp     *Comparison
+}
+
+func (l *Literal) String() string {
+	switch {
+	case l.Cmp != nil:
+		return l.Cmp.String()
+	case l.Negated:
+		return "!" + l.Atom.String()
+	default:
+		return l.Atom.String()
+	}
+}
+
+// Aggregation is the agg<<u = fn(z)>> specification of a P2P aggregation
+// rule (paper §2.2.1). For count, Arg is empty.
+type Aggregation struct {
+	Result string // the aggregate output variable (u)
+	Func   string // sum, count, min, max, avg, total
+	Arg    string // the aggregated variable (z)
+}
+
+func (a *Aggregation) String() string {
+	return "agg<<" + a.Result + " = " + a.Func + "(" + a.Arg + ")>>"
+}
+
+// Predict is the predict<<m = fn(v|f)>> specification of a predictive
+// analytics P2P rule (paper §2.3.2). In learning mode Func names a model
+// family (logist, linear); in evaluation mode Func is "eval" and Value
+// names the model variable.
+type Predict struct {
+	Result  string // model or prediction output variable
+	Func    string // logist, linear, eval
+	Value   string // observed value variable (learning) / model variable (eval)
+	Feature string // feature variable
+}
+
+func (p *Predict) String() string {
+	return "predict<<" + p.Result + " = " + p.Func + "(" + p.Value + "|" + p.Feature + ")>>"
+}
+
+// Rule is a derivation rule head <- body. Facts are rules with an empty
+// body and ground heads. Reactive rules carry delta decorations on head
+// or body atoms.
+type Rule struct {
+	Heads []*Atom
+	Body  []*Literal
+	Agg   *Aggregation // non-nil for aggregation P2P rules
+	Pred  *Predict     // non-nil for predict P2P rules
+}
+
+func (r *Rule) String() string {
+	var b strings.Builder
+	for i, h := range r.Heads {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(h.String())
+	}
+	if len(r.Body) == 0 && r.Agg == nil && r.Pred == nil {
+		b.WriteByte('.')
+		return b.String()
+	}
+	b.WriteString(" <- ")
+	if r.Agg != nil {
+		b.WriteString(r.Agg.String())
+		b.WriteByte(' ')
+	}
+	if r.Pred != nil {
+		b.WriteString(r.Pred.String())
+		b.WriteByte(' ')
+	}
+	for i, l := range r.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Constraint is an integrity constraint F -> G (paper §2.2.1). Type
+// declarations are constraints whose right side contains type atoms.
+type Constraint struct {
+	Body []*Literal // F
+	Head []*Literal // G
+}
+
+func (c *Constraint) String() string {
+	var b strings.Builder
+	for i, l := range c.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteString(" -> ")
+	for i, l := range c.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Directive is a lang: pragma, e.g. lang:solve:variable(`Stock) declaring
+// a free second-order predicate variable for prescriptive analytics
+// (paper §2.3.1).
+type Directive struct {
+	Path []string // e.g. ["lang","solve","variable"]
+	Args []string // predicate names (backquoted in the surface syntax)
+}
+
+func (d *Directive) String() string {
+	return strings.Join(d.Path, ":") + "(`" + strings.Join(d.Args, ", `") + ")."
+}
+
+// Clause is any top-level program element.
+type Clause interface{ isClause() }
+
+func (*Rule) isClause()       {}
+func (*Constraint) isClause() {}
+func (*Directive) isClause()  {}
+
+// Program is a parsed block: an ordered collection of clauses. Order is
+// semantically irrelevant for rules and constraints ("disorderliness",
+// paper T1) but preserved for error reporting.
+type Program struct {
+	Clauses []Clause
+}
+
+// Rules returns the derivation rules in the program.
+func (p *Program) Rules() []*Rule {
+	var out []*Rule
+	for _, c := range p.Clauses {
+		if r, ok := c.(*Rule); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Constraints returns the integrity constraints in the program.
+func (p *Program) Constraints() []*Constraint {
+	var out []*Constraint
+	for _, c := range p.Clauses {
+		if k, ok := c.(*Constraint); ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Directives returns the lang: directives in the program.
+func (p *Program) Directives() []*Directive {
+	var out []*Directive
+	for _, c := range p.Clauses {
+		if d, ok := c.(*Directive); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TypeAtoms lists the names treated as type predicates when they appear
+// on the right side of constraints: primitive type tests the engine
+// enforces natively.
+var TypeAtoms = map[string]tuple.Kind{
+	"int":     tuple.KindInt,
+	"float":   tuple.KindFloat,
+	"decimal": tuple.KindFloat,
+	"string":  tuple.KindString,
+	"boolean": tuple.KindBool,
+	"date":    tuple.KindString,
+}

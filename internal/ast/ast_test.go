@@ -1,0 +1,126 @@
+package ast
+
+import (
+	"testing"
+
+	"logicblox/internal/tuple"
+)
+
+func TestTermStrings(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{Var{Name: "x"}, "x"},
+		{Const{Val: tuple.Int(7)}, "7"},
+		{Wildcard{}, "_"},
+		{Arith{Op: '+', L: Var{Name: "x"}, R: Const{Val: tuple.Int(1)}}, "(x + 1)"},
+		{FuncApp{Pred: "price", Args: []Term{Var{Name: "p"}}}, "price[p]"},
+		{FuncApp{Pred: "price", AtStart: true, Args: []Term{Var{Name: "p"}}}, "price@start[p]"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAtomShapes(t *testing.T) {
+	rel := &Atom{Pred: "R", Args: []Term{Var{Name: "x"}, Var{Name: "y"}}}
+	if rel.Functional() || rel.Arity() != 2 || len(rel.AllTerms()) != 2 {
+		t.Fatalf("relational atom misbehaves: %v", rel)
+	}
+	if rel.String() != "R(x, y)" {
+		t.Fatalf("String = %q", rel.String())
+	}
+	fn := &Atom{Pred: "F", Args: []Term{Var{Name: "k"}}, Value: Var{Name: "v"}}
+	if !fn.Functional() || fn.Arity() != 2 || len(fn.AllTerms()) != 2 {
+		t.Fatalf("functional atom misbehaves: %v", fn)
+	}
+	if fn.String() != "F[k] = v" {
+		t.Fatalf("String = %q", fn.String())
+	}
+	delta := &Atom{Pred: "R", Delta: DeltaPlus, Args: []Term{Var{Name: "x"}}}
+	if delta.String() != "+R(x)" {
+		t.Fatalf("String = %q", delta.String())
+	}
+	start := &Atom{Pred: "R", AtStart: true, Args: []Term{Var{Name: "x"}}}
+	if start.String() != "R@start(x)" {
+		t.Fatalf("String = %q", start.String())
+	}
+}
+
+func TestDeltaKindStrings(t *testing.T) {
+	if DeltaNone.String() != "" || DeltaPlus.String() != "+" ||
+		DeltaMinus.String() != "-" || DeltaHat.String() != "^" {
+		t.Fatal("DeltaKind strings wrong")
+	}
+}
+
+func TestLiteralAndClauseStrings(t *testing.T) {
+	atom := &Atom{Pred: "P", Args: []Term{Var{Name: "x"}}}
+	neg := &Literal{Negated: true, Atom: atom}
+	if neg.String() != "!P(x)" {
+		t.Fatalf("neg literal = %q", neg.String())
+	}
+	cmp := &Literal{Cmp: &Comparison{Op: OpLe, L: Var{Name: "u"}, R: Var{Name: "v"}}}
+	if cmp.String() != "u <= v" {
+		t.Fatalf("cmp literal = %q", cmp.String())
+	}
+	rule := &Rule{Heads: []*Atom{atom}, Body: []*Literal{cmp}}
+	if rule.String() != "P(x) <- u <= v." {
+		t.Fatalf("rule = %q", rule.String())
+	}
+	fact := &Rule{Heads: []*Atom{atom}}
+	if fact.String() != "P(x)." {
+		t.Fatalf("fact = %q", fact.String())
+	}
+	k := &Constraint{Body: []*Literal{{Atom: atom}}, Head: []*Literal{cmp}}
+	if k.String() != "P(x) -> u <= v." {
+		t.Fatalf("constraint = %q", k.String())
+	}
+	d := &Directive{Path: []string{"lang", "solve", "max"}, Args: []string{"profit"}}
+	if d.String() != "lang:solve:max(`profit)." {
+		t.Fatalf("directive = %q", d.String())
+	}
+}
+
+func TestAggAndPredictStrings(t *testing.T) {
+	a := &Aggregation{Result: "u", Func: "sum", Arg: "z"}
+	if a.String() != "agg<<u = sum(z)>>" {
+		t.Fatalf("agg = %q", a.String())
+	}
+	p := &Predict{Result: "m", Func: "logist", Value: "v", Feature: "f"}
+	if p.String() != "predict<<m = logist(v|f)>>" {
+		t.Fatalf("predict = %q", p.String())
+	}
+	r := &Rule{
+		Heads: []*Atom{{Pred: "T", Value: Var{Name: "u"}}},
+		Agg:   a,
+		Body:  []*Literal{{Atom: &Atom{Pred: "S", Args: []Term{Var{Name: "z"}}}}},
+	}
+	if r.String() != "T[] = u <- agg<<u = sum(z)>> S(z)." {
+		t.Fatalf("agg rule = %q", r.String())
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p := &Program{Clauses: []Clause{
+		&Rule{Heads: []*Atom{{Pred: "a", Args: []Term{Var{Name: "x"}}}}},
+		&Constraint{},
+		&Directive{Path: []string{"lang", "solve", "max"}, Args: []string{"p"}},
+	}}
+	if len(p.Rules()) != 1 || len(p.Constraints()) != 1 || len(p.Directives()) != 1 {
+		t.Fatalf("accessors wrong: %d %d %d", len(p.Rules()), len(p.Constraints()), len(p.Directives()))
+	}
+}
+
+func TestTypeAtomsTable(t *testing.T) {
+	if TypeAtoms["float"] != tuple.KindFloat || TypeAtoms["int"] != tuple.KindInt ||
+		TypeAtoms["string"] != tuple.KindString {
+		t.Fatal("TypeAtoms table wrong")
+	}
+	if _, ok := TypeAtoms["Product"]; ok {
+		t.Fatal("user types must not be builtin type atoms")
+	}
+}

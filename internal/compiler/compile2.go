@@ -1,0 +1,486 @@
+package compiler
+
+import (
+	"fmt"
+
+	"logicblox/internal/ast"
+)
+
+// compileTerm lowers an AST term into an Expr over the rule's slots.
+// Every variable must already have a slot that is a join variable or an
+// assigned variable (safety).
+func (e *bodyEnv) compileTerm(t ast.Term) (Expr, error) {
+	switch t := t.(type) {
+	case ast.Var:
+		s, ok := e.varSlot[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("variable %s is unbound", t.Name)
+		}
+		if s >= e.numJoin && !e.assigned[s] {
+			return nil, fmt.Errorf("variable %s is used before it is bound", t.Name)
+		}
+		return VarExpr{Idx: s}, nil
+	case ast.Const:
+		return ConstExpr{Val: t.Val}, nil
+	case ast.Arith:
+		l, err := e.compileTerm(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compileTerm(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return ArithExpr{Op: t.Op, L: l, R: r}, nil
+	case ast.Wildcard:
+		return nil, fmt.Errorf("wildcard is not allowed here")
+	default:
+		return nil, fmt.Errorf("cannot compile term %s", t)
+	}
+}
+
+// termComputable reports whether every variable of t has a usable slot.
+func (e *bodyEnv) termComputable(t ast.Term) bool {
+	switch t := t.(type) {
+	case ast.Var:
+		s, ok := e.varSlot[t.Name]
+		return ok && (s < e.numJoin || e.assigned[s])
+	case ast.Arith:
+		return e.termComputable(t.L) && e.termComputable(t.R)
+	case ast.Const:
+		return true
+	default:
+		return false
+	}
+}
+
+// resolveComparisons repeatedly classifies the pending comparisons into
+// variable assignments (x = <computable expr> with x otherwise unbound)
+// and filters, until a fixed point; leftover non-computable comparisons
+// make the rule unsafe.
+func (e *bodyEnv) resolveComparisons() error {
+	pending := e.pendingCmp
+	for {
+		var rest []*ast.Comparison
+		progress := false
+		for _, cmp := range pending {
+			if e.tryAssign(cmp) {
+				progress = true
+				continue
+			}
+			if e.termComputable(cmp.L) && e.termComputable(cmp.R) {
+				l, err := e.compileTerm(cmp.L)
+				if err != nil {
+					return err
+				}
+				r, err := e.compileTerm(cmp.R)
+				if err != nil {
+					return err
+				}
+				e.filters = append(e.filters, FilterPlan{Op: string(cmp.Op), L: l, R: r})
+				progress = true
+				continue
+			}
+			rest = append(rest, cmp)
+		}
+		if len(rest) == 0 {
+			e.pendingCmp = nil
+			return nil
+		}
+		if !progress {
+			return fmt.Errorf("unsafe comparison %s: variables cannot be bound", rest[0])
+		}
+		pending = rest
+	}
+}
+
+// tryAssign turns cmp into an assignment if it is an equality with
+// exactly one unbound bare variable on one side and a computable
+// expression on the other.
+func (e *bodyEnv) tryAssign(cmp *ast.Comparison) bool {
+	if cmp.Op != ast.OpEq {
+		return false
+	}
+	try := func(target, src ast.Term) bool {
+		v, ok := target.(ast.Var)
+		if !ok {
+			return false
+		}
+		s, exists := e.varSlot[v.Name]
+		if exists && (s < e.numJoin || e.assigned[s]) {
+			return false // already bound: this is a filter
+		}
+		if !e.termComputable(src) {
+			return false
+		}
+		expr, err := e.compileTerm(src)
+		if err != nil {
+			return false
+		}
+		if !exists {
+			s = len(e.varNames)
+			e.varSlot[v.Name] = s
+			e.varNames = append(e.varNames, v.Name)
+			e.isJoinVar = append(e.isJoinVar, false)
+		}
+		e.assigned[s] = true
+		e.assigns = append(e.assigns, AssignPlan{Slot: s, E: expr})
+		return true
+	}
+	return try(cmp.L, cmp.R) || try(cmp.R, cmp.L)
+}
+
+// resolveNegAtoms compiles the argument expressions of negated atoms.
+func (e *bodyEnv) resolveNegAtoms() error {
+	for i, raw := range e.rawNeg {
+		terms := raw.AllTerms()
+		args := make([]Expr, len(terms))
+		for j, t := range terms {
+			if _, isWild := t.(ast.Wildcard); isWild {
+				continue // nil expr = wildcard
+			}
+			expr, err := e.compileTerm(t)
+			if err != nil {
+				return fmt.Errorf("in negated atom %s: %w", raw, err)
+			}
+			args[j] = expr
+		}
+		e.negAtoms[i].Args = args
+	}
+	return nil
+}
+
+// compileRule lowers one rule into one RulePlan per head atom.
+func (c *compilation) compileRule(r *ast.Rule) error {
+	env := c.newBodyEnv()
+	if err := env.addLiterals(r.Body); err != nil {
+		return err
+	}
+	if err := env.finish(); err != nil {
+		return err
+	}
+	if err := env.resolveComparisons(); err != nil {
+		return err
+	}
+	if err := env.resolveNegAtoms(); err != nil {
+		return err
+	}
+	for _, h := range r.Heads {
+		plan, err := c.assembleRule(r, h, env)
+		if err != nil {
+			return err
+		}
+		if isReactivePlan(plan) {
+			c.prog.Reactive = append(c.prog.Reactive, plan)
+		} else {
+			c.prog.Rules = append(c.prog.Rules, plan)
+		}
+	}
+	return nil
+}
+
+func isReactivePlan(p *RulePlan) bool {
+	if BaseName(p.HeadName) != p.HeadName {
+		return true
+	}
+	for _, n := range p.BodyNames {
+		if BaseName(n) != n {
+			return true
+		}
+	}
+	for _, n := range p.NegNames {
+		if BaseName(n) != n {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compilation) assembleRule(r *ast.Rule, h *ast.Atom, env *bodyEnv) (*RulePlan, error) {
+	plan := &RulePlan{
+		ID:          len(c.prog.Rules) + len(c.prog.Reactive),
+		Source:      r.String(),
+		HeadName:    DecoratedName(h.Pred, h.Delta, h.AtStart),
+		HeadArity:   h.Arity(),
+		NumJoinVars: env.numJoin,
+		Slots:       len(env.varNames),
+		VarNames:    env.varNames,
+		Atoms:       env.atoms,
+		Consts:      env.consts,
+		NegAtoms:    env.negAtoms,
+		Filters:     env.filters,
+		Assigns:     env.assigns,
+		BodyNames:   env.bodyNames,
+		NegNames:    env.negNames,
+	}
+	if h.AtStart {
+		return nil, fmt.Errorf("@start predicate %s cannot be derived", h.Pred)
+	}
+
+	switch {
+	case r.Agg != nil:
+		if !h.Functional() {
+			return nil, fmt.Errorf("aggregation rule head %s must be functional (R[keys] = result)", h.Pred)
+		}
+		v, ok := h.Value.(ast.Var)
+		if !ok || v.Name != r.Agg.Result {
+			return nil, fmt.Errorf("aggregation head value must be the aggregate variable %s", r.Agg.Result)
+		}
+		agg, err := env.compileAgg(r.Agg)
+		if err != nil {
+			return nil, err
+		}
+		plan.Agg = agg
+		// Head exprs cover the key columns only; the engine appends the
+		// aggregate value.
+		for _, t := range h.Args {
+			expr, err := env.compileTerm(t)
+			if err != nil {
+				return nil, fmt.Errorf("in head of %s: %w", h.Pred, err)
+			}
+			plan.HeadExprs = append(plan.HeadExprs, expr)
+		}
+		return plan, nil
+
+	case r.Pred != nil:
+		if !h.Functional() {
+			return nil, fmt.Errorf("predict rule head %s must be functional", h.Pred)
+		}
+		v, ok := h.Value.(ast.Var)
+		if !ok || v.Name != r.Pred.Result {
+			return nil, fmt.Errorf("predict head value must be the result variable %s", r.Pred.Result)
+		}
+		pp, err := env.compilePredict(r.Pred, h)
+		if err != nil {
+			return nil, err
+		}
+		plan.Predict = pp
+		for _, t := range h.Args {
+			expr, err := env.compileTerm(t)
+			if err != nil {
+				return nil, fmt.Errorf("in head of %s: %w", h.Pred, err)
+			}
+			plan.HeadExprs = append(plan.HeadExprs, expr)
+		}
+		return plan, nil
+
+	default:
+		for _, t := range h.AllTerms() {
+			expr, err := env.compileTerm(t)
+			if err != nil {
+				return nil, fmt.Errorf("in head of %s: %w", h.Pred, err)
+			}
+			plan.HeadExprs = append(plan.HeadExprs, expr)
+		}
+		return plan, nil
+	}
+}
+
+func (e *bodyEnv) compileAgg(a *ast.Aggregation) (*AggPlan, error) {
+	switch a.Func {
+	case "sum", "min", "max", "avg", "total", "count":
+	default:
+		return nil, fmt.Errorf("unknown aggregation function %s", a.Func)
+	}
+	plan := &AggPlan{Func: a.Func, ArgSlot: -1}
+	if a.Func == "count" {
+		return plan, nil
+	}
+	if a.Arg == "" {
+		return nil, fmt.Errorf("aggregation %s requires an argument variable", a.Func)
+	}
+	s, ok := e.varSlot[a.Arg]
+	if !ok || (s >= e.numJoin && !e.assigned[s]) {
+		return nil, fmt.Errorf("aggregated variable %s is unbound", a.Arg)
+	}
+	plan.ArgSlot = s
+	return plan, nil
+}
+
+func (e *bodyEnv) compilePredict(p *ast.Predict, head *ast.Atom) (*PredictPlan, error) {
+	switch p.Func {
+	case "logist", "linear", "eval":
+	default:
+		return nil, fmt.Errorf("unknown predict function %s", p.Func)
+	}
+	slotOf := func(name string) (int, error) {
+		s, ok := e.varSlot[name]
+		if !ok || (s >= e.numJoin && !e.assigned[s]) {
+			return 0, fmt.Errorf("predict variable %s is unbound", name)
+		}
+		return s, nil
+	}
+	vs, err := slotOf(p.Value)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := slotOf(p.Feature)
+	if err != nil {
+		return nil, err
+	}
+	plan := &PredictPlan{Func: p.Func, ValueSlot: vs, FeatureSlot: fs}
+	// Group (head key) slots.
+	group := map[int]bool{}
+	for _, t := range head.Args {
+		if v, ok := t.(ast.Var); ok {
+			if s, ok := e.varSlot[v.Name]; ok {
+				group[s] = true
+			}
+		}
+	}
+	// Example identity: the other variables of the atom binding the value;
+	// feature identity: the other variables of the atom binding the
+	// feature value.
+	plan.ValueKeySlots = e.companionSlots(vs, group)
+	plan.FeatNameSlots = e.companionSlots(fs, group)
+	return plan, nil
+}
+
+// companionSlots finds the atom binding slot and returns its other
+// variables that are not group keys (in column order).
+func (e *bodyEnv) companionSlots(slot int, group map[int]bool) []int {
+	for _, a := range e.atoms {
+		has := false
+		for _, v := range a.Vars {
+			if v == slot {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		var out []int
+		for _, v := range a.Vars {
+			if v != slot && !group[v] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// compileConstraint lowers an integrity constraint.
+func (c *compilation) compileConstraint(k *ast.Constraint) error {
+	env := c.newBodyEnv()
+	if err := env.addLiterals(k.Body); err != nil {
+		return err
+	}
+	if err := env.finish(); err != nil {
+		return err
+	}
+	if err := env.resolveComparisons(); err != nil {
+		return err
+	}
+	if err := env.resolveNegAtoms(); err != nil {
+		return err
+	}
+	body := &RulePlan{
+		Source:      k.String(),
+		NumJoinVars: env.numJoin,
+		Slots:       len(env.varNames),
+		VarNames:    env.varNames,
+		Atoms:       env.atoms,
+		Consts:      env.consts,
+		NegAtoms:    env.negAtoms,
+		Filters:     env.filters,
+		Assigns:     env.assigns,
+		BodyNames:   env.bodyNames,
+		NegNames:    env.negNames,
+	}
+	plan := &ConstraintPlan{ID: len(c.prog.Constraints), Source: k.String(), Body: body}
+
+	for _, l := range k.Head {
+		switch {
+		case l.Cmp != nil:
+			lx, err := env.compileHeadCheckTerm(l.Cmp.L)
+			if err != nil {
+				return err
+			}
+			rx, err := env.compileHeadCheckTerm(l.Cmp.R)
+			if err != nil {
+				return err
+			}
+			plan.HeadChecks = append(plan.HeadChecks, FilterPlan{Op: string(l.Cmp.Op), L: lx, R: rx})
+		case l.Negated:
+			terms := l.Atom.AllTerms()
+			args := make([]Expr, len(terms))
+			for j, t := range terms {
+				if _, w := t.(ast.Wildcard); w {
+					continue
+				}
+				expr, err := env.compileHeadCheckTerm(t)
+				if err != nil {
+					return err
+				}
+				args[j] = expr
+			}
+			plan.HeadChecks = append(plan.HeadChecks, FilterPlan{Op: "!exists",
+				L: existsExpr{name: DecoratedName(l.Atom.Pred, l.Atom.Delta, l.Atom.AtStart), args: args}})
+			plan.HeadNegAtoms = append(plan.HeadNegAtoms, GroundAtom{
+				Name: DecoratedName(l.Atom.Pred, l.Atom.Delta, l.Atom.AtStart), Args: args,
+			})
+		default:
+			a := l.Atom
+			if kind, isType := ast.TypeAtoms[a.Pred]; isType && len(a.Args) == 1 {
+				if v, ok := a.Args[0].(ast.Var); ok {
+					s, exists := env.varSlot[v.Name]
+					if !exists {
+						return fmt.Errorf("type check on unbound variable %s", v.Name)
+					}
+					plan.HeadTypes = append(plan.HeadTypes, TypeCheck{Slot: s, Kind: kind})
+					continue
+				}
+			}
+			terms := a.AllTerms()
+			args := make([]Expr, len(terms))
+			for j, t := range terms {
+				if _, w := t.(ast.Wildcard); w {
+					continue
+				}
+				expr, err := env.compileHeadCheckTerm(t)
+				if err != nil {
+					return fmt.Errorf("in constraint head %s: %w", a, err)
+				}
+				args[j] = expr
+			}
+			plan.HeadAtoms = append(plan.HeadAtoms, GroundAtom{
+				Name: DecoratedName(a.Pred, a.Delta, a.AtStart), Args: args,
+			})
+		}
+	}
+	c.prog.Constraints = append(c.prog.Constraints, plan)
+	return nil
+}
+
+// compileHeadCheckTerm compiles a term in a constraint head. Functional
+// applications become FuncGetExprs resolved against the workspace at
+// check time (so `Stock[p] >= minStock[p]` fails when either value is
+// missing).
+func (e *bodyEnv) compileHeadCheckTerm(t ast.Term) (Expr, error) {
+	switch t := t.(type) {
+	case ast.FuncApp:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			expr, err := e.compileHeadCheckTerm(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = expr
+		}
+		return FuncGetExpr{Name: t.Pred, Args: args}, nil
+	case ast.Arith:
+		l, err := e.compileHeadCheckTerm(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compileHeadCheckTerm(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return ArithExpr{Op: t.Op, L: l, R: r}, nil
+	default:
+		return e.compileTerm(t)
+	}
+}

@@ -1,0 +1,140 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReorderRule returns a copy of the plan with its join variables permuted
+// into a new order: order[i] is the old slot of the variable that becomes
+// slot i. Atom column permutations (secondary indices) are re-derived and
+// every compiled expression is rewritten to the new slot numbering. The
+// sampling-based optimizer (paper §3.2) uses this to evaluate candidate
+// variable orders.
+func ReorderRule(r *RulePlan, order []int) (*RulePlan, error) {
+	n := r.NumJoinVars
+	if len(order) != n {
+		return nil, fmt.Errorf("compiler: order has %d entries for %d join variables", len(order), n)
+	}
+	// newSlot[old] = position of old slot in the new order.
+	newSlot := make([]int, r.Slots)
+	seen := make([]bool, n)
+	for i, old := range order {
+		if old < 0 || old >= n || seen[old] {
+			return nil, fmt.Errorf("compiler: order %v is not a permutation of join slots", order)
+		}
+		seen[old] = true
+		newSlot[old] = i
+	}
+	for s := n; s < r.Slots; s++ {
+		newSlot[s] = s // assigned slots keep their positions
+	}
+
+	out := *r
+	out.VarNames = make([]string, r.Slots)
+	for old, name := range r.VarNames {
+		out.VarNames[newSlot[old]] = name
+	}
+
+	// Rebuild each atom: recover the variable per stored column, remap,
+	// and re-sort columns by the new order.
+	out.Atoms = make([]AtomPlan, len(r.Atoms))
+	for ai, a := range r.Atoms {
+		cols := len(a.Vars)
+		varOfStored := make([]int, cols)
+		for i, v := range a.Vars {
+			stored := i
+			if a.Perm != nil {
+				stored = a.Perm[i]
+			}
+			varOfStored[stored] = newSlot[v]
+		}
+		perm := make([]int, cols)
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(x, y int) bool { return varOfStored[perm[x]] < varOfStored[perm[y]] })
+		identity := true
+		vars := make([]int, cols)
+		for i, p := range perm {
+			vars[i] = varOfStored[p]
+			if p != i {
+				identity = false
+			}
+		}
+		out.Atoms[ai] = AtomPlan{Name: a.Name, Vars: vars}
+		if !identity {
+			out.Atoms[ai].Perm = perm
+		}
+	}
+
+	out.Consts = make([]ConstBind, len(r.Consts))
+	for i, c := range r.Consts {
+		out.Consts[i] = ConstBind{Var: newSlot[c.Var], Val: c.Val}
+	}
+	out.NegAtoms = make([]GroundAtom, len(r.NegAtoms))
+	for i, na := range r.NegAtoms {
+		out.NegAtoms[i] = GroundAtom{Name: na.Name, Args: remapExprs(na.Args, newSlot)}
+	}
+	out.Filters = make([]FilterPlan, len(r.Filters))
+	for i, f := range r.Filters {
+		out.Filters[i] = FilterPlan{Op: f.Op, L: remapExpr(f.L, newSlot), R: remapExpr(f.R, newSlot)}
+	}
+	out.Assigns = make([]AssignPlan, len(r.Assigns))
+	for i, a := range r.Assigns {
+		out.Assigns[i] = AssignPlan{Slot: newSlot[a.Slot], E: remapExpr(a.E, newSlot)}
+	}
+	out.HeadExprs = remapExprs(r.HeadExprs, newSlot)
+	if r.Agg != nil {
+		agg := *r.Agg
+		if agg.ArgSlot >= 0 {
+			agg.ArgSlot = newSlot[agg.ArgSlot]
+		}
+		out.Agg = &agg
+	}
+	if r.Predict != nil {
+		p := *r.Predict
+		p.ValueSlot = newSlot[p.ValueSlot]
+		p.FeatureSlot = newSlot[p.FeatureSlot]
+		p.ValueKeySlots = remapSlots(p.ValueKeySlots, newSlot)
+		p.FeatNameSlots = remapSlots(p.FeatNameSlots, newSlot)
+		out.Predict = &p
+	}
+	return &out, nil
+}
+
+func remapSlots(slots []int, newSlot []int) []int {
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = newSlot[s]
+	}
+	return out
+}
+
+func remapExprs(es []Expr, newSlot []int) []Expr {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		if e == nil {
+			continue
+		}
+		out[i] = remapExpr(e, newSlot)
+	}
+	return out
+}
+
+func remapExpr(e Expr, newSlot []int) Expr {
+	switch e := e.(type) {
+	case VarExpr:
+		return VarExpr{Idx: newSlot[e.Idx]}
+	case ConstExpr:
+		return e
+	case ArithExpr:
+		return ArithExpr{Op: e.Op, L: remapExpr(e.L, newSlot), R: remapExpr(e.R, newSlot)}
+	case FuncGetExpr:
+		return FuncGetExpr{Name: e.Name, Args: remapExprs(e.Args, newSlot)}
+	case existsExpr:
+		return existsExpr{name: e.name, args: remapExprs(e.args, newSlot)}
+	default:
+		return e
+	}
+}

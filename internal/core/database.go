@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database manages named branches of workspaces and the version history
+// (paper §2.2.2 Branch/Delete-branch, §3.1). Because workspaces are
+// immutable values over persistent structures, Branch is an O(1) pointer
+// copy, commit is a pointer swap, and any historical version can itself
+// be branched (time travel); the version graph is an arbitrary DAG.
+type Database struct {
+	mu       sync.RWMutex
+	branches map[string]*Workspace
+	history  []VersionEntry
+}
+
+// VersionEntry records one committed workspace version.
+type VersionEntry struct {
+	Branch    string
+	Workspace *Workspace
+}
+
+// DefaultBranch is the branch created by NewDatabase.
+const DefaultBranch = "main"
+
+// NewDatabase returns a database with an empty workspace on "main".
+func NewDatabase() *Database {
+	ws := NewWorkspace()
+	return &Database{
+		branches: map[string]*Workspace{DefaultBranch: ws},
+		history:  []VersionEntry{{Branch: DefaultBranch, Workspace: ws}},
+	}
+}
+
+// Workspace returns the current workspace of a branch.
+func (db *Database) Workspace(branch string) (*Workspace, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ws, ok := db.branches[branch]
+	if !ok {
+		return nil, fmt.Errorf("unknown branch %s", branch)
+	}
+	return ws, nil
+}
+
+// Branch creates branch `to` as a copy of branch `from`. This is O(1):
+// no data is copied (paper §3.1).
+func (db *Database) Branch(from, to string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	src, ok := db.branches[from]
+	if !ok {
+		return fmt.Errorf("unknown branch %s", from)
+	}
+	if _, exists := db.branches[to]; exists {
+		return fmt.Errorf("branch %s already exists", to)
+	}
+	db.branches[to] = src
+	return nil
+}
+
+// BranchAt creates a branch from a historical version index (time travel).
+func (db *Database) BranchAt(version int, to string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if version < 0 || version >= len(db.history) {
+		return fmt.Errorf("version %d out of range", version)
+	}
+	if _, exists := db.branches[to]; exists {
+		return fmt.Errorf("branch %s already exists", to)
+	}
+	db.branches[to] = db.history[version].Workspace
+	return nil
+}
+
+// DeleteBranch drops a branch. Aborting all its work is just dropping the
+// reference.
+func (db *Database) DeleteBranch(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if name == DefaultBranch {
+		return fmt.Errorf("cannot delete %s", DefaultBranch)
+	}
+	if _, ok := db.branches[name]; !ok {
+		return fmt.Errorf("unknown branch %s", name)
+	}
+	delete(db.branches, name)
+	return nil
+}
+
+// Commit makes ws the new head of branch and records it in the history.
+// Conceptually just a pointer swap (paper T4).
+func (db *Database) Commit(branch string, ws *Workspace) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.branches[branch]; !ok {
+		return fmt.Errorf("unknown branch %s", branch)
+	}
+	db.branches[branch] = ws
+	db.history = append(db.history, VersionEntry{Branch: branch, Workspace: ws})
+	return nil
+}
+
+// Branches lists branch names.
+func (db *Database) Branches() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.branches))
+	for b := range db.branches {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Versions returns the number of committed versions.
+func (db *Database) Versions() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.history)
+}
+
+// VersionAt returns the i-th committed version.
+func (db *Database) VersionAt(i int) (VersionEntry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if i < 0 || i >= len(db.history) {
+		return VersionEntry{}, fmt.Errorf("version %d out of range", i)
+	}
+	return db.history[i], nil
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"logicblox/internal/ast"
+	"logicblox/internal/compiler"
+	"logicblox/internal/engine"
+	"logicblox/internal/meta"
+	"logicblox/internal/parser"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// AddBlock installs a named block of logic (an addblock transaction,
+// paper §2.2.2). The meta-engine determines which derived predicates the
+// change dirties; only those are re-materialized (live programming,
+// §3.3).
+func (ws *Workspace) AddBlock(name, src string) (*Workspace, error) {
+	if ws.blocks.Contains(name) {
+		return nil, fmt.Errorf("block %s already installed", name)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("block %s: %w", name, err)
+	}
+	newParsed := ws.parsedBlocks()
+	newParsed[name] = prog
+	return ws.reinstall(name, src, prog, newParsed)
+}
+
+// RemoveBlock uninstalls a block, restoring the workspace logic to its
+// state before the corresponding AddBlock.
+func (ws *Workspace) RemoveBlock(name string) (*Workspace, error) {
+	if !ws.blocks.Contains(name) {
+		return nil, fmt.Errorf("block %s is not installed", name)
+	}
+	newParsed := ws.parsedBlocks()
+	delete(newParsed, name)
+	return ws.reinstall(name, "", nil, newParsed)
+}
+
+// reinstall recompiles the workspace logic after a block change and
+// re-materializes exactly the dirty predicates.
+func (ws *Workspace) reinstall(name, src string, parsed *ast.Program, newParsed map[string]*ast.Program) (*Workspace, error) {
+	compiled, err := compileBlocks(newParsed)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := meta.Analyze(ws.parsedBlocks(), newParsed)
+	if err != nil {
+		return nil, err
+	}
+
+	out := ws.clone()
+	if parsed == nil {
+		out.blocks = out.blocks.Delete(name)
+		out.parsed = out.parsed.Delete(name)
+	} else {
+		out.blocks = out.blocks.Set(name, src)
+		out.parsed = out.parsed.Set(name, parsed)
+	}
+	out.prog = compiled
+
+	// Drop predicates that lost all their rules, and prune stored results
+	// of removed rules.
+	valid := map[string]bool{}
+	for _, r := range compiled.Rules {
+		valid[ruleKey(r)] = true
+	}
+	for _, stratum := range compiled.Strata {
+		for _, r := range stratum {
+			valid[stratumKey(r.HeadName)] = true
+		}
+	}
+	for _, key := range out.ruleRes.Keys() {
+		if !valid[key] {
+			out.ruleRes = out.ruleRes.Delete(key)
+		}
+	}
+	for _, p := range analysis.DropPreds {
+		out.derived = out.derived.Delete(p)
+	}
+
+	dirty := map[string]bool{}
+	for _, p := range analysis.DirtyPreds {
+		dirty[p] = true
+	}
+	for _, p := range analysis.DropPreds {
+		dirty[p] = true // downstream readers of a dropped view must see it empty
+	}
+	out, err = out.rederive(dirty)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.checkConstraints(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExecResult reports what an exec transaction changed.
+type ExecResult struct {
+	Workspace *Workspace
+	// BaseDeltas lists insertions and deletions per base predicate.
+	BaseDeltas map[string]ExecDelta
+}
+
+// ExecDelta is the per-predicate effect of an exec transaction.
+type ExecDelta struct {
+	Ins, Del []tuple.Tuple
+}
+
+// Exec runs an exec transaction (paper §2.2.2): src contains reactive
+// logic — delta facts and reactive rules over +R, -R, ^R and R@start.
+// The pipeline is:
+//
+//  1. seed R@start with the current contents of every predicate;
+//  2. evaluate the reactive rules (stratified over decorated names);
+//  3. expand ^R upserts into +R / -R pairs;
+//  4. apply the system frame rules R := (R@start − (-R)) ∪ (+R);
+//  5. re-derive affected views and check integrity constraints.
+//
+// On constraint violation the transaction aborts: the receiver workspace
+// is untouched (it is just a value) and an error is returned.
+func (ws *Workspace) Exec(src string) (*ExecResult, error) {
+	eprog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("exec parse: %w", err)
+	}
+	combined, err := compileBlocks(ws.parsedBlocks(), eprog)
+	if err != nil {
+		return nil, fmt.Errorf("exec compile: %w", err)
+	}
+
+	// Seed the evaluation context: current contents plus @start versions.
+	rels := ws.relations()
+	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize})
+	for p := range combined.Preds {
+		ctx.Set(p+compiler.DecorAtStart, ws.Relation(p))
+	}
+
+	// Evaluate reactive strata.
+	for _, stratum := range combined.ReactiveStrata {
+		if err := ctx.EvalStratum(stratum); err != nil {
+			return nil, fmt.Errorf("exec: %w", err)
+		}
+	}
+
+	// Expand ^R upserts: replace the functional value for the key, i.e.
+	// delete the old binding (if different) and insert the new one.
+	for p, info := range combined.Preds {
+		hat := ctx.Relation(compiler.DecorHat + p)
+		if hat.IsEmpty() {
+			continue
+		}
+		plus := ctx.Relation(compiler.DecorPlus + p)
+		minus := ctx.Relation(compiler.DecorMinus + p)
+		start := ctx.Relation(p + compiler.DecorAtStart)
+		hat.ForEach(func(t tuple.Tuple) bool {
+			if info.Functional && info.Arity >= 2 {
+				if old, ok := start.FuncGet(t[:info.Arity-1]); ok && !tuple.Equal(old, t[info.Arity-1]) {
+					minus = minus.Insert(append(t[:info.Arity-1].Clone(), old))
+				}
+			}
+			plus = plus.Insert(t)
+			return true
+		})
+		ctx.Set(compiler.DecorPlus+p, plus)
+		ctx.Set(compiler.DecorMinus+p, minus)
+	}
+
+	// Apply frame rules to every predicate with a non-empty delta.
+	out := ws.clone()
+	deltas := map[string]ExecDelta{}
+	dirty := map[string]bool{}
+	for p, info := range combined.Preds {
+		plus := ctx.Relation(compiler.DecorPlus + p)
+		minus := ctx.Relation(compiler.DecorMinus + p)
+		if plus.IsEmpty() && minus.IsEmpty() {
+			continue
+		}
+		if !info.EDB {
+			return nil, fmt.Errorf("exec: cannot modify derived predicate %s", p)
+		}
+		start := ctx.Relation(p + compiler.DecorAtStart)
+		next := start.Difference(minus).Union(plus)
+		if next.Equal(start) {
+			continue
+		}
+		var d ExecDelta
+		start.Diff(next,
+			func(t tuple.Tuple) { d.Del = append(d.Del, t) },
+			func(t tuple.Tuple) { d.Ins = append(d.Ins, t) })
+		deltas[p] = d
+		out.base = out.base.Set(p, next)
+		dirty[p] = true
+	}
+
+	// Plain-headed reactive rules (e.g. audit logs fed by +R) insert into
+	// their extensional head predicates.
+	for _, stratum := range combined.ReactiveStrata {
+		for _, r := range stratum {
+			head := r.HeadName
+			if compiler.BaseName(head) != head {
+				continue
+			}
+			derivedRel := ctx.Relation(head)
+			cur := out.Relation(head)
+			merged := cur.Union(derivedRel)
+			if !merged.Equal(cur) {
+				var d ExecDelta
+				cur.Diff(merged, func(tuple.Tuple) {}, func(t tuple.Tuple) { d.Ins = append(d.Ins, t) })
+				prev := deltas[head]
+				prev.Ins = append(prev.Ins, d.Ins...)
+				deltas[head] = prev
+				out.base = out.base.Set(head, merged)
+				dirty[head] = true
+			}
+		}
+	}
+
+	if len(dirty) == 0 {
+		return &ExecResult{Workspace: ws, BaseDeltas: deltas}, nil
+	}
+	res, err := out.rederive(dirty)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.checkConstraints(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{Workspace: res, BaseDeltas: deltas}, nil
+}
+
+// Insert is a convenience exec: it inserts tuples into a base predicate
+// directly, bypassing parsing (heavy transactional workloads use this
+// path; it is equivalent to an exec of +pred facts).
+func (ws *Workspace) Insert(pred string, tuples ...tuple.Tuple) (*Workspace, error) {
+	return ws.applyDirect(pred, tuples, nil)
+}
+
+// Delete is the deletion counterpart of Insert.
+func (ws *Workspace) Delete(pred string, tuples ...tuple.Tuple) (*Workspace, error) {
+	return ws.applyDirect(pred, nil, tuples)
+}
+
+func (ws *Workspace) applyDirect(pred string, ins, del []tuple.Tuple) (*Workspace, error) {
+	info, ok := ws.prog.Preds[pred]
+	if ok && !info.EDB {
+		return nil, fmt.Errorf("cannot modify derived predicate %s", pred)
+	}
+	cur := ws.Relation(pred)
+	if !ok && len(ins) > 0 {
+		cur = relation.New(len(ins[0]))
+	}
+	next := cur
+	for _, t := range del {
+		next = next.Delete(t)
+	}
+	for _, t := range ins {
+		next = next.Insert(t)
+	}
+	if next.Equal(cur) {
+		return ws, nil
+	}
+	out := ws.clone()
+	out.base = out.base.Set(pred, next)
+	res, err := out.rederive(map[string]bool{pred: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.checkConstraints(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,351 @@
+// Package core implements workspaces and transactions (paper §2.2.2,
+// §3.1): a workspace bundles logic (blocks of rules and constraints) with
+// the contents of base predicates plus the materialized derived
+// predicates. Workspaces are immutable values built entirely from
+// persistent data structures, so branching is O(1), every transaction
+// yields a new version sharing structure with its parent, and aborting a
+// transaction is dropping a pointer.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"logicblox/internal/ast"
+	"logicblox/internal/compiler"
+	"logicblox/internal/engine"
+	"logicblox/internal/ml"
+	"logicblox/internal/parser"
+	"logicblox/internal/pmap"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// Workspace is one immutable version of the database: logic + data.
+// All mutating methods return a new Workspace.
+type Workspace struct {
+	blocks   pmap.Map[string]            // block name → LogiQL source
+	parsed   pmap.Map[*ast.Program]      // block name → parsed program
+	prog     *compiler.Program           // compiled program (shared, immutable)
+	base     pmap.Map[relation.Relation] // base predicate contents
+	ruleRes  pmap.Map[relation.Relation] // materialized result per rule (or per recursive head)
+	derived  pmap.Map[relation.Relation] // derived predicate contents
+	models   *ml.Registry                // model store (append-only, shared across versions)
+	version  uint64
+	optimize bool // sampling-based join-order optimization (paper §3.2)
+}
+
+// NewWorkspace returns an empty workspace with no logic and no data.
+func NewWorkspace() *Workspace {
+	empty, err := compiler.Compile(&ast.Program{})
+	if err != nil {
+		panic(err)
+	}
+	return &Workspace{
+		blocks:  pmap.NewMap[string](),
+		parsed:  pmap.NewMap[*ast.Program](),
+		prog:    empty,
+		base:    pmap.NewMap[relation.Relation](),
+		ruleRes: pmap.NewMap[relation.Relation](),
+		derived: pmap.NewMap[relation.Relation](),
+		models:  ml.NewRegistry(),
+	}
+}
+
+// Version returns the workspace's version number (monotone along a
+// branch's history).
+func (ws *Workspace) Version() uint64 { return ws.version }
+
+// WithOptimizer returns a workspace whose evaluations use the
+// sampling-based variable-order optimizer (paper §3.2). The flag is
+// inherited by branches and subsequent versions.
+func (ws *Workspace) WithOptimizer(on bool) *Workspace {
+	cp := *ws
+	cp.optimize = on
+	return &cp
+}
+
+// Blocks returns the installed block names.
+func (ws *Workspace) Blocks() []string { return ws.blocks.Keys() }
+
+// Program returns the compiled program.
+func (ws *Workspace) Program() *compiler.Program { return ws.prog }
+
+// Models returns the predict-rule model registry.
+func (ws *Workspace) Models() *ml.Registry { return ws.models }
+
+// Relation returns the current contents of a predicate (base or derived).
+func (ws *Workspace) Relation(name string) relation.Relation {
+	if r, ok := ws.derived.Get(name); ok {
+		return r
+	}
+	if r, ok := ws.base.Get(name); ok {
+		return r
+	}
+	arity := 1
+	if p, ok := ws.prog.Preds[name]; ok {
+		arity = p.Arity
+	}
+	return relation.New(arity)
+}
+
+// relations materializes the full name → relation map for an engine
+// context.
+func (ws *Workspace) relations() map[string]relation.Relation {
+	out := map[string]relation.Relation{}
+	ws.base.Range(func(k string, v relation.Relation) bool { out[k] = v; return true })
+	ws.derived.Range(func(k string, v relation.Relation) bool { out[k] = v; return true })
+	return out
+}
+
+func (ws *Workspace) clone() *Workspace {
+	cp := *ws
+	cp.version = ws.version + 1
+	return &cp
+}
+
+// parsedBlocks returns the parsed programs keyed by block name.
+func (ws *Workspace) parsedBlocks() map[string]*ast.Program {
+	out := map[string]*ast.Program{}
+	ws.parsed.Range(func(k string, v *ast.Program) bool { out[k] = v; return true })
+	return out
+}
+
+func compileBlocks(parsed map[string]*ast.Program, extra ...*ast.Program) (*compiler.Program, error) {
+	var names []string
+	for n := range parsed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var progs []*ast.Program
+	for _, n := range names {
+		progs = append(progs, parsed[n])
+	}
+	progs = append(progs, extra...)
+	return compiler.Compile(progs...)
+}
+
+// ruleKey identifies a rule's materialized result across recompilations.
+func ruleKey(r *compiler.RulePlan) string { return r.HeadName + "\x00" + r.Source }
+
+// stratumKey identifies a recursive stratum head's materialized result.
+func stratumKey(head string) string { return "rec\x00" + head }
+
+// rederive re-materializes derived predicates after base-data or logic
+// changes. dirty seeds the set of changed names (base predicates with new
+// contents and/or derived predicates marked dirty by the meta-engine);
+// the change propagates through the execution graph, and rules none of
+// whose dependencies changed reuse their stored results — the engine-side
+// half of live programming (paper Figure 6).
+func (ws *Workspace) rederive(dirty map[string]bool) (*Workspace, error) {
+	out := ws.clone()
+	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize})
+	changed := dirty
+
+	for _, stratum := range out.prog.Strata {
+		heads := map[string]bool{}
+		for _, r := range stratum {
+			heads[r.HeadName] = true
+		}
+		recursive := false
+		for _, r := range stratum {
+			for _, b := range r.BodyNames {
+				if heads[b] {
+					recursive = true
+				}
+			}
+		}
+		touched := func(r *compiler.RulePlan) bool {
+			if changed[r.HeadName] {
+				return true
+			}
+			for _, b := range r.BodyNames {
+				if changed[b] {
+					return true
+				}
+			}
+			for _, b := range r.NegNames {
+				if changed[b] {
+					return true
+				}
+			}
+			return false
+		}
+
+		if recursive {
+			any := false
+			for _, r := range stratum {
+				if touched(r) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			origin := map[string]relation.Relation{}
+			for h := range heads {
+				origin[h] = out.Relation(h)
+				ctx.Set(h, relation.New(origin[h].Arity()))
+			}
+			if err := ctx.EvalStratum(stratum); err != nil {
+				return nil, err
+			}
+			for h := range heads {
+				cur := ctx.Relation(h)
+				out.ruleRes = out.ruleRes.Set(stratumKey(h), cur)
+				out.derived = out.derived.Set(h, cur)
+				if !cur.Equal(origin[h]) {
+					changed[h] = true
+				}
+			}
+			continue
+		}
+
+		headTouched := map[string]bool{}
+		for _, r := range stratum {
+			key := ruleKey(r)
+			if _, have := out.ruleRes.Get(key); have && !touched(r) {
+				continue
+			}
+			res, err := ctx.EvalRule(r, nil)
+			if err != nil {
+				return nil, err
+			}
+			if prev, ok := out.ruleRes.Get(key); !ok || !prev.Equal(res) {
+				headTouched[r.HeadName] = true
+			}
+			out.ruleRes = out.ruleRes.Set(key, res)
+		}
+		for h := range headTouched {
+			rel := relation.New(out.prog.Preds[h].Arity)
+			for _, r := range stratum {
+				if r.HeadName != h {
+					continue
+				}
+				if rr, ok := out.ruleRes.Get(ruleKey(r)); ok {
+					rel = rel.Union(rr)
+				}
+			}
+			prev := out.Relation(h)
+			out.derived = out.derived.Set(h, rel)
+			ctx.Set(h, rel)
+			if !rel.Equal(prev) {
+				changed[h] = true
+			}
+		}
+		// Unchanged heads of this stratum still need their contexts seeded
+		// for later strata; ctx already holds them from relations().
+	}
+	return out, nil
+}
+
+// checkConstraints validates the workspace state, returning an error
+// listing all violations if the state is illegal. Constraints that
+// reference free solver predicates (lang:solve:variable) define the
+// optimization problem rather than the set of legal states before a
+// solve, so they are enforced only once the free predicate has been
+// populated.
+func (ws *Workspace) checkConstraints() error {
+	ctx := engine.NewContext(ws.prog, ws.relations(), engine.Options{Models: ws.models})
+	deferred := map[string]bool{}
+	if ws.prog.Solve != nil {
+		for _, v := range ws.prog.Solve.Variables {
+			if ws.Relation(v).IsEmpty() {
+				deferred[v] = true
+			}
+		}
+	}
+	var vs []engine.Violation
+	for _, k := range ws.prog.Constraints {
+		skip := false
+		for _, ref := range k.References() {
+			if deferred[ref] {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		kvs, err := ctx.CheckConstraint(k)
+		if err != nil {
+			return err
+		}
+		vs = append(vs, kvs...)
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("transaction aborted: %d integrity constraint violation(s):", len(vs))
+	for i, v := range vs {
+		if i == 5 {
+			msg += fmt.Sprintf("\n  … and %d more", len(vs)-5)
+			break
+		}
+		msg += "\n  " + v.String()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Query runs a query transaction: src is a program with a designated
+// answer predicate "_" (plus any auxiliary rules). It returns the answer
+// tuples. The workspace is unchanged (queries are read-only and run on
+// the branch's snapshot, paper §3.1).
+func (ws *Workspace) Query(src string) ([]tuple.Tuple, error) {
+	qprog, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("query parse: %w", err)
+	}
+	combined, err := compileBlocks(ws.parsedBlocks(), qprog)
+	if err != nil {
+		return nil, fmt.Errorf("query compile: %w", err)
+	}
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize})
+	// Evaluate only predicates that are not already materialized in the
+	// workspace (i.e. the query's own derivations).
+	for _, stratum := range combined.Strata {
+		var fresh []*compiler.RulePlan
+		for _, r := range stratum {
+			if _, have := ws.derived.Get(r.HeadName); !have {
+				fresh = append(fresh, r)
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		if err := ctx.EvalStratum(fresh); err != nil {
+			return nil, err
+		}
+	}
+	return ctx.Relation("_").Slice(), nil
+}
+
+// Load is a convenience for seeding base predicates in bulk (outside the
+// reactive-rule machinery). It validates constraints after loading.
+func (ws *Workspace) Load(name string, tuples []tuple.Tuple) (*Workspace, error) {
+	info, ok := ws.prog.Preds[name]
+	if ok && !info.EDB {
+		return nil, fmt.Errorf("cannot load derived predicate %s", name)
+	}
+	arity := 0
+	if ok {
+		arity = info.Arity
+	} else if len(tuples) > 0 {
+		arity = len(tuples[0])
+	}
+	rel, has := ws.base.Get(name)
+	if !has {
+		rel = relation.New(arity)
+	}
+	for _, t := range tuples {
+		rel = rel.Insert(t)
+	}
+	out := ws.clone()
+	out.base = out.base.Set(name, rel)
+	res, err := out.rederive(map[string]bool{name: true})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/ml"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// aggAccum accumulates grouped aggregation state for a P2P rule
+// (paper §2.2.1). Groups are keyed by the head key tuple.
+type aggAccum struct {
+	plan   *compiler.AggPlan
+	keys   map[string]tuple.Tuple
+	states map[string]*aggState
+}
+
+type aggState struct {
+	count  int
+	sum    float64
+	allInt bool
+	min    tuple.Value
+	max    tuple.Value
+}
+
+func newAggAccum(plan *compiler.AggPlan) *aggAccum {
+	return &aggAccum{plan: plan, keys: map[string]tuple.Tuple{}, states: map[string]*aggState{}}
+}
+
+func (a *aggAccum) add(key tuple.Tuple, binding tuple.Tuple) {
+	ks := key.String()
+	st, ok := a.states[ks]
+	if !ok {
+		st = &aggState{allInt: true}
+		a.states[ks] = st
+		a.keys[ks] = key.Clone()
+	}
+	st.count++
+	if a.plan.ArgSlot < 0 {
+		return
+	}
+	v := binding[a.plan.ArgSlot]
+	if f, ok := v.Numeric(); ok {
+		st.sum += f
+		if v.Kind() != tuple.KindInt {
+			st.allInt = false
+		}
+	}
+	if st.count == 1 {
+		st.min, st.max = v, v
+		return
+	}
+	if tuple.Less(v, st.min) {
+		st.min = v
+	}
+	if tuple.Less(st.max, v) {
+		st.max = v
+	}
+}
+
+func (a *aggAccum) finish(headArity int) (relation.Relation, error) {
+	out := relation.New(headArity)
+	for ks, st := range a.states {
+		var v tuple.Value
+		switch a.plan.Func {
+		case "count":
+			v = tuple.Int(int64(st.count))
+		case "sum", "total":
+			if st.allInt {
+				v = tuple.Int(int64(st.sum))
+			} else {
+				v = tuple.Float(st.sum)
+			}
+		case "avg":
+			v = tuple.Float(st.sum / float64(st.count))
+		case "min":
+			v = st.min
+		case "max":
+			v = st.max
+		default:
+			return out, fmt.Errorf("unknown aggregation %s", a.plan.Func)
+		}
+		head := make(tuple.Tuple, 0, headArity)
+		head = append(head, a.keys[ks]...)
+		head = append(head, v)
+		out = out.Insert(head)
+	}
+	return out, nil
+}
+
+// predictAccum accumulates grouped training examples or evaluation
+// feature vectors for predict P2P rules (paper §2.3.2).
+type predictAccum struct {
+	plan   *compiler.PredictPlan
+	keys   map[string]tuple.Tuple
+	groups map[string]*predictGroup
+}
+
+type predictGroup struct {
+	examples map[string]*ml.Example // learning: keyed by example identity
+	features map[string]float64     // eval: one feature vector
+	model    int64                  // eval: model handle
+	hasModel bool
+}
+
+func newPredictAccum(plan *compiler.PredictPlan) *predictAccum {
+	return &predictAccum{plan: plan, keys: map[string]tuple.Tuple{}, groups: map[string]*predictGroup{}}
+}
+
+func slotsKey(binding tuple.Tuple, slots []int) string {
+	k := make(tuple.Tuple, len(slots))
+	for i, s := range slots {
+		k[i] = binding[s]
+	}
+	return k.String()
+}
+
+func (p *predictAccum) add(key tuple.Tuple, binding tuple.Tuple) error {
+	ks := key.String()
+	g, ok := p.groups[ks]
+	if !ok {
+		g = &predictGroup{examples: map[string]*ml.Example{}, features: map[string]float64{}}
+		p.groups[ks] = g
+		p.keys[ks] = key.Clone()
+	}
+	featName := slotsKey(binding, p.plan.FeatNameSlots)
+	featVal, ok := binding[p.plan.FeatureSlot].Numeric()
+	if !ok {
+		return fmt.Errorf("feature value %s is not numeric", binding[p.plan.FeatureSlot])
+	}
+	if p.plan.Func == "eval" {
+		v := binding[p.plan.ValueSlot]
+		if v.Kind() != tuple.KindInt {
+			return fmt.Errorf("model handle %s is not an integer", v)
+		}
+		g.model = v.AsInt()
+		g.hasModel = true
+		g.features[featName] = featVal
+		return nil
+	}
+	exKey := slotsKey(binding, p.plan.ValueKeySlots)
+	ex, ok := g.examples[exKey]
+	if !ok {
+		ex = &ml.Example{Features: map[string]float64{}}
+		g.examples[exKey] = ex
+	}
+	target, ok := binding[p.plan.ValueSlot].Numeric()
+	if !ok {
+		return fmt.Errorf("training target %s is not numeric", binding[p.plan.ValueSlot])
+	}
+	ex.Target = target
+	ex.Features[featName] = featVal
+	return nil
+}
+
+func (p *predictAccum) finish(headArity int, models *ml.Registry) (relation.Relation, error) {
+	out := relation.New(headArity)
+	if models == nil {
+		return out, fmt.Errorf("predict rule requires a model registry")
+	}
+	for ks, g := range p.groups {
+		var v tuple.Value
+		switch p.plan.Func {
+		case "eval":
+			if !g.hasModel {
+				continue
+			}
+			m, ok := models.Get(g.model)
+			if !ok {
+				return out, fmt.Errorf("unknown model handle %d", g.model)
+			}
+			v = tuple.Float(m.Predict(g.features))
+		case "logist":
+			examples := make([]ml.Example, 0, len(g.examples))
+			for _, ex := range g.examples {
+				examples = append(examples, *ex)
+			}
+			m, err := ml.TrainLogistic(examples, ml.LogisticOptions{})
+			if err != nil {
+				return out, err
+			}
+			v = tuple.Int(models.Put(m))
+		case "linear":
+			examples := make([]ml.Example, 0, len(g.examples))
+			for _, ex := range g.examples {
+				examples = append(examples, *ex)
+			}
+			m, err := ml.TrainLinear(examples)
+			if err != nil {
+				return out, err
+			}
+			v = tuple.Int(models.Put(m))
+		default:
+			return out, fmt.Errorf("unknown predict function %s", p.plan.Func)
+		}
+		head := make(tuple.Tuple, 0, headArity)
+		head = append(head, p.keys[ks]...)
+		head = append(head, v)
+		out = out.Insert(head)
+	}
+	return out, nil
+}

@@ -1,0 +1,520 @@
+// Package engine is the "engine proper" of the system (paper Figure 6):
+// it evaluates a compiled LogiQL program bottom-up over a context of named
+// relations, materializing derived predicates with leapfrog triejoin,
+// semi-naive fixpoints for recursive strata, aggregation and predict P2P
+// rules, and integrity-constraint checking.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/lftj"
+	"logicblox/internal/ml"
+	"logicblox/internal/optimizer"
+	"logicblox/internal/relation"
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+// Options configure an evaluation context.
+type Options struct {
+	// Sens, if non-nil, accumulates sensitivity intervals for every join
+	// run and membership probe, enabling incremental maintenance and
+	// transaction repair on top of the evaluation.
+	Sens *lftj.SensitivityIndex
+	// Models stores trained models for predict rules. Required if the
+	// program contains predict rules.
+	Models *ml.Registry
+	// Optimize enables the sampling-based variable-order optimizer
+	// (paper §3.2): each rule's join order is chosen by comparing
+	// candidate orders on predicate samples, cached per rule.
+	Optimize bool
+	// Parallel, when > 1, evaluates independent rules of a non-recursive
+	// stratum concurrently with up to Parallel workers (the automatic
+	// parallelization of queries and views, paper T1). Ignored while a
+	// sensitivity index is recording.
+	Parallel int
+}
+
+// Context is an evaluation context: a compiled program plus the current
+// contents of every named relation (base, derived, delta, @start).
+type Context struct {
+	Prog     *compiler.Program
+	rels     map[string]relation.Relation
+	perms    map[string]relation.Relation // secondary-index cache
+	models   *ml.Registry
+	sens     *lftj.SensitivityIndex
+	optimize bool
+	parallel int
+	mu       sync.Mutex                 // guards perms and plans during parallel evaluation
+	plans    map[int]*compiler.RulePlan // optimizer decisions, by rule ID
+}
+
+// NewContext builds a context over base relation contents (keyed by
+// decorated name; usually plain base-predicate names).
+func NewContext(prog *compiler.Program, base map[string]relation.Relation, opts Options) *Context {
+	c := &Context{
+		Prog:     prog,
+		rels:     make(map[string]relation.Relation, len(base)+8),
+		perms:    map[string]relation.Relation{},
+		models:   opts.Models,
+		sens:     opts.Sens,
+		optimize: opts.Optimize,
+		parallel: opts.Parallel,
+		plans:    map[int]*compiler.RulePlan{},
+	}
+	for name, r := range base {
+		c.rels[name] = r
+	}
+	return c
+}
+
+// Relation returns the current content of name, or an empty relation of
+// the predicate's arity.
+func (c *Context) Relation(name string) relation.Relation {
+	if r, ok := c.rels[name]; ok {
+		return r
+	}
+	return relation.New(c.arityOf(name))
+}
+
+// Set replaces the content of name.
+func (c *Context) Set(name string, r relation.Relation) { c.rels[name] = r }
+
+// Has reports whether name has explicit content.
+func (c *Context) Has(name string) bool {
+	_, ok := c.rels[name]
+	return ok
+}
+
+// Relations returns a copy of the name → relation map.
+func (c *Context) Relations() map[string]relation.Relation {
+	out := make(map[string]relation.Relation, len(c.rels))
+	for k, v := range c.rels {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Context) arityOf(name string) int {
+	base := compiler.BaseName(name)
+	if p, ok := c.Prog.Preds[base]; ok {
+		return p.Arity
+	}
+	return 1
+}
+
+// EvalAll evaluates every static stratum in order, materializing all
+// derived predicates.
+func (c *Context) EvalAll() error {
+	for _, stratum := range c.Prog.Strata {
+		if err := c.EvalStratum(stratum); err != nil {
+			return err
+		}
+	}
+	return c.checkFunctional()
+}
+
+// EvalStratum evaluates one stratum. Non-recursive strata get a single
+// pass; recursive strata run the semi-naive fixpoint: after the first
+// full pass, each subsequent round restricts one recursive atom occurrence
+// per rule to the previous round's delta.
+func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
+	headSet := map[string]bool{}
+	for _, r := range rules {
+		headSet[r.HeadName] = true
+	}
+	recursive := false
+	for _, r := range rules {
+		for _, b := range r.BodyNames {
+			if headSet[b] {
+				recursive = true
+			}
+		}
+	}
+
+	// First pass: full evaluation — in parallel across the stratum's
+	// rules when enabled (they are independent: all read lower strata).
+	deltas := map[string]relation.Relation{}
+	results := make([]relation.Relation, len(rules))
+	if c.parallel > 1 && !recursive && c.sens == nil && len(rules) > 1 {
+		errs := make([]error, len(rules))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, c.parallel)
+		for i, r := range rules {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, r *compiler.RulePlan) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i], errs[i] = c.evalRule(r, nil)
+			}(i, r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		for i, r := range rules {
+			derived, err := c.evalRule(r, nil)
+			if err != nil {
+				return err
+			}
+			results[i] = derived
+		}
+	}
+	for i, r := range rules {
+		derived := results[i]
+		cur := c.Relation(r.HeadName)
+		fresh := derived.Difference(cur)
+		if !fresh.IsEmpty() {
+			c.Set(r.HeadName, cur.Union(fresh))
+			d := deltas[r.HeadName]
+			if d.Arity() == 0 {
+				d = relation.New(fresh.Arity())
+			}
+			deltas[r.HeadName] = d.Union(fresh)
+		}
+	}
+	if !recursive {
+		return nil
+	}
+
+	// Fixpoint rounds.
+	for len(deltas) > 0 {
+		next := map[string]relation.Relation{}
+		for _, r := range rules {
+			// For each occurrence of a predicate that changed last round,
+			// evaluate the rule with that occurrence restricted to the
+			// delta (semi-naive evaluation).
+			for ai, atom := range r.Atoms {
+				d, changed := deltas[atom.Name]
+				if !changed {
+					continue
+				}
+				derived, err := c.evalRule(r, map[int]relation.Relation{ai: d})
+				if err != nil {
+					return err
+				}
+				cur := c.Relation(r.HeadName)
+				fresh := derived.Difference(cur)
+				if fresh.IsEmpty() {
+					continue
+				}
+				c.Set(r.HeadName, cur.Union(fresh))
+				nd := next[r.HeadName]
+				if nd.Arity() == 0 {
+					nd = relation.New(fresh.Arity())
+				}
+				next[r.HeadName] = nd.Union(fresh)
+			}
+		}
+		deltas = next
+	}
+	return nil
+}
+
+// evalRule evaluates one rule body and returns the derived head tuples.
+// atomOverride, when non-nil, substitutes the relation scanned by specific
+// atom indices (used for semi-naive deltas and for IVM delta rules).
+func (c *Context) evalRule(r *compiler.RulePlan, atomOverride map[int]relation.Relation) (relation.Relation, error) {
+	// The optimizer rewrites the whole plan (join order, atom indices,
+	// and every slot-referencing expression together), so the swap must
+	// happen before the head/aggregate accumulators are built.
+	if c.optimize && atomOverride == nil && r.NumJoinVars > 1 {
+		r = c.optimizedPlan(r)
+	}
+	out := relation.New(r.HeadArity)
+	resolver := ctxResolver{c}
+	var agg *aggAccum
+	if r.Agg != nil {
+		agg = newAggAccum(r.Agg)
+	}
+	var pred *predictAccum
+	if r.Predict != nil {
+		pred = newPredictAccum(r.Predict)
+	}
+
+	var evalErr error
+	emit := func(binding tuple.Tuple) bool {
+		switch {
+		case agg != nil:
+			key, err := evalExprs(r.HeadExprs, binding, resolver)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			agg.add(key, binding)
+		case pred != nil:
+			key, err := evalExprs(r.HeadExprs, binding, resolver)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if err := pred.add(key, binding); err != nil {
+				evalErr = err
+				return false
+			}
+		default:
+			head, err := evalExprs(r.HeadExprs, binding, resolver)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			out = out.Insert(head)
+		}
+		return true
+	}
+
+	if err := c.enumerate(r, atomOverride, emit); err != nil {
+		return out, err
+	}
+	if evalErr != nil {
+		return out, fmt.Errorf("in rule %q: %w", r.Source, evalErr)
+	}
+	if agg != nil {
+		var err error
+		out, err = agg.finish(r.HeadArity)
+		if err != nil {
+			return out, fmt.Errorf("in rule %q: %w", r.Source, err)
+		}
+	}
+	if pred != nil {
+		var err error
+		out, err = pred.finish(r.HeadArity, c.models)
+		if err != nil {
+			return out, fmt.Errorf("in rule %q: %w", r.Source, err)
+		}
+	}
+	return out, nil
+}
+
+// enumerate runs the rule body join and calls emit for every binding that
+// survives assignments, filters, and negated atoms. The binding has
+// r.Slots values and is reused across calls.
+func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.Relation, emit func(tuple.Tuple) bool) error {
+	resolver := ctxResolver{c}
+	full := make(tuple.Tuple, r.Slots)
+
+	finish := func(joinBinding tuple.Tuple) (bool, error) {
+		copy(full, joinBinding)
+		for _, a := range r.Assigns {
+			v, err := a.E.Eval(full, resolver)
+			if err != nil {
+				return false, err
+			}
+			full[a.Slot] = v
+		}
+		for _, f := range r.Filters {
+			l, err := f.L.Eval(full, resolver)
+			if err != nil {
+				return false, err
+			}
+			rv, err := f.R.Eval(full, resolver)
+			if err != nil {
+				return false, err
+			}
+			ok, err := compiler.CompareValues(f.Op, l, rv)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return true, nil // filtered out; continue enumeration
+			}
+		}
+		for _, na := range r.NegAtoms {
+			exists, err := c.checkGroundAtom(na, full, resolver)
+			if err != nil {
+				return false, err
+			}
+			if exists {
+				return true, nil
+			}
+		}
+		return emit(full), nil
+	}
+
+	if len(r.Atoms) == 0 && len(r.Consts) == 0 {
+		// Fact or fully computed rule: a single empty binding.
+		_, err := finish(nil)
+		return err
+	}
+
+	atoms := make([]lftj.Atom, 0, len(r.Atoms)+len(r.Consts))
+	for ai, ap := range r.Atoms {
+		rel, ok := atomOverride[ai]
+		if !ok {
+			rel = c.Relation(ap.Name)
+		}
+		if ap.Perm != nil {
+			rel = c.permuted(ap.Name, rel, ap.Perm)
+		}
+		atoms = append(atoms, lftj.Atom{Pred: ap.Name, Iter: rel.Iterator(), Vars: ap.Vars})
+	}
+	for _, cb := range r.Consts {
+		atoms = append(atoms, lftj.Atom{
+			Pred: "$const", Iter: trie.NewConstIterator(cb.Val), Vars: []int{cb.Var},
+		})
+	}
+	j, err := lftj.NewJoin(r.NumJoinVars, atoms, c.sens)
+	if err != nil {
+		return fmt.Errorf("in rule %q: %w", r.Source, err)
+	}
+	var innerErr error
+	j.Run(func(b tuple.Tuple) bool {
+		cont, err := finish(b)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return cont
+	})
+	return innerErr
+}
+
+// checkGroundAtom evaluates a ground (negated) atom's pattern and probes
+// the relation, recording the probe in the sensitivity index.
+func (c *Context) checkGroundAtom(na compiler.GroundAtom, binding tuple.Tuple, resolver compiler.Resolver) (bool, error) {
+	pattern := make([]tuple.Value, len(na.Args))
+	wild := make([]bool, len(na.Args))
+	for i, e := range na.Args {
+		if e == nil {
+			wild[i] = true
+			continue
+		}
+		v, err := e.Eval(binding, resolver)
+		if err != nil {
+			return false, err
+		}
+		pattern[i] = v
+	}
+	if c.sens != nil {
+		recordPattern(c.sens, na.Name, pattern, wild)
+	}
+	return c.Relation(na.Name).MatchExists(pattern, wild), nil
+}
+
+// recordPattern adds the sensitivity region of a membership probe: the
+// ground prefix is fixed, everything below the first wildcard matters.
+func recordPattern(s *lftj.SensitivityIndex, name string, pattern []tuple.Value, wild []bool) {
+	ground := 0
+	for ground < len(pattern) && !wild[ground] {
+		ground++
+	}
+	if ground == len(pattern) {
+		s.AddPoint(name, pattern)
+		return
+	}
+	s.Add(name, tuple.Tuple(pattern[:ground]), tuple.MinValue(), tuple.MaxValue())
+}
+
+// permuted returns rel with columns permuted, cached per content version.
+func (c *Context) permuted(name string, rel relation.Relation, perm []int) relation.Relation {
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, p := range perm {
+		fmt.Fprintf(&sb, "/%d", p)
+	}
+	fmt.Fprintf(&sb, "#%x", rel.StructuralHash())
+	key := sb.String()
+	c.mu.Lock()
+	if r, ok := c.perms[key]; ok {
+		c.mu.Unlock()
+		return r
+	}
+	c.mu.Unlock()
+	r := rel.Permuted(perm)
+	c.mu.Lock()
+	c.perms[key] = r
+	c.mu.Unlock()
+	return r
+}
+
+func evalExprs(exprs []compiler.Expr, binding tuple.Tuple, r compiler.Resolver) (tuple.Tuple, error) {
+	out := make(tuple.Tuple, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(binding, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// checkFunctional verifies functional dependencies of derived functional
+// predicates: at most one value per key.
+func (c *Context) checkFunctional() error {
+	for _, name := range c.Prog.IDBPreds {
+		base := compiler.BaseName(name)
+		p, ok := c.Prog.Preds[base]
+		if !ok || !p.Functional || p.Arity < 2 {
+			continue
+		}
+		rel := c.Relation(name)
+		var prev tuple.Tuple
+		var violation error
+		rel.ForEach(func(t tuple.Tuple) bool {
+			if prev != nil && prev[:p.Arity-1].Equal(t[:p.Arity-1]) {
+				violation = fmt.Errorf("functional dependency violation in %s: key %s has values %s and %s",
+					name, t[:p.Arity-1], prev[p.Arity-1], t[p.Arity-1])
+				return false
+			}
+			prev = t
+			return true
+		})
+		if violation != nil {
+			return violation
+		}
+	}
+	return nil
+}
+
+// ctxResolver adapts a Context to the compiler.Resolver interface for
+// constraint-head expressions.
+type ctxResolver struct{ c *Context }
+
+// FuncValue implements compiler.Resolver.
+func (r ctxResolver) FuncValue(name string, key tuple.Tuple) (tuple.Value, bool) {
+	rel := r.c.Relation(name)
+	if rel.Arity() != len(key)+1 {
+		return tuple.Value{}, false
+	}
+	if r.c.sens != nil {
+		r.c.sens.Add(name, key, tuple.MinValue(), tuple.MaxValue())
+	}
+	return rel.FuncGet(key)
+}
+
+// Exists implements compiler.Resolver.
+func (r ctxResolver) Exists(name string, pattern []tuple.Value, wild []bool) bool {
+	if r.c.sens != nil {
+		recordPattern(r.c.sens, name, pattern, wild)
+	}
+	return r.c.Relation(name).MatchExists(pattern, wild)
+}
+
+// optimizedPlan returns (and caches) the sampling-optimized variant of a
+// rule plan.
+func (c *Context) optimizedPlan(r *compiler.RulePlan) *compiler.RulePlan {
+	c.mu.Lock()
+	if p, ok := c.plans[r.ID]; ok {
+		c.mu.Unlock()
+		return p
+	}
+	c.mu.Unlock()
+	res, err := optimizer.ChooseOrder(r, c.Relation, optimizer.Options{})
+	plan := r
+	if err == nil && res.Plan != nil {
+		plan = res.Plan
+	}
+	c.mu.Lock()
+	c.plans[r.ID] = plan
+	c.mu.Unlock()
+	return plan
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"logicblox/internal/compiler"
+	"logicblox/internal/lftj"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// EvalRule evaluates one rule against the current context (with optional
+// per-atom relation overrides) and returns the derived head tuples. It is
+// the entry point used by the incremental-maintenance layer for delta
+// rules.
+func (c *Context) EvalRule(r *compiler.RulePlan, overrides map[int]relation.Relation) (relation.Relation, error) {
+	return c.evalRule(r, overrides)
+}
+
+// EnumerateRuleHeads runs the rule body (with optional per-atom overrides)
+// and calls emit once per satisfying assignment with the corresponding
+// head tuple — i.e. with derivation multiplicity, which is what
+// counting-based view maintenance needs. The head tuple is freshly
+// allocated per call. Aggregation and predict rules are not supported
+// here (they have no per-derivation head).
+func (c *Context) EnumerateRuleHeads(r *compiler.RulePlan, overrides map[int]relation.Relation, emit func(tuple.Tuple) bool) error {
+	resolver := ctxResolver{c}
+	var innerErr error
+	err := c.enumerate(r, overrides, func(binding tuple.Tuple) bool {
+		head, err := evalExprs(r.HeadExprs, binding, resolver)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return emit(head)
+	})
+	if err == nil {
+		err = innerErr
+	}
+	return err
+}
+
+// PinnedDerivable reports whether head tuple t of rule r has at least one
+// derivation in the current state. Join variables that map directly to
+// head columns are pinned with virtual constant predicates so the search
+// explores only the relevant region (used by delete-and-rederive).
+func (c *Context) PinnedDerivable(r *compiler.RulePlan, t tuple.Tuple) (bool, error) {
+	pinned := *r
+	pinned.Consts = append([]compiler.ConstBind(nil), r.Consts...)
+	for i, e := range r.HeadExprs {
+		if ve, ok := e.(compiler.VarExpr); ok && ve.Idx < r.NumJoinVars {
+			pinned.Consts = append(pinned.Consts, compiler.ConstBind{Var: ve.Idx, Val: t[i]})
+		}
+	}
+	found := false
+	err := c.EnumerateRuleHeads(&pinned, nil, func(head tuple.Tuple) bool {
+		if head.Equal(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
+}
+
+// SetSensitivityIndex redirects sensitivity recording of subsequent
+// evaluations to idx (nil disables recording). The incremental-maintenance
+// layer uses this to record one index per rule or stratum.
+func (c *Context) SetSensitivityIndex(idx *lftj.SensitivityIndex) { c.sens = idx }
+
+// EnumerateBindings runs the rule body (with optional per-atom overrides)
+// and calls emit once per satisfying assignment with the full binding
+// (join variables then assigned variables). The binding slice is reused
+// across calls. The solver's grounding machinery uses this to linearize
+// constraint and objective bodies.
+func (c *Context) EnumerateBindings(r *compiler.RulePlan, overrides map[int]relation.Relation, emit func(tuple.Tuple) bool) error {
+	return c.enumerate(r, overrides, emit)
+}

@@ -1,0 +1,265 @@
+package ivm
+
+import (
+	"logicblox/internal/compiler"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// Delete-and-rederive (DRed; Gupta, Mumick & Subrahmanian, SIGMOD'93),
+// the classical algorithm the paper improves upon. Per stratum:
+//
+//  1. Over-delete: compute everything whose derivation may have used a
+//     deleted tuple (to a fixpoint within the stratum) and remove it.
+//  2. Re-derive: over-deleted tuples that still have an alternative
+//     derivation in the reduced state are reinserted (using pinned
+//     derivability probes).
+//  3. Insert: propagate insertions semi-naively.
+
+func (m *Maintainer) applyDRed(acc map[string]Delta, old map[string]relation.Relation) error {
+	for _, stratum := range m.prog.Strata {
+		if !stratumTouched(stratum, acc) {
+			m.Stats.RulesSkipped += len(stratum)
+			continue
+		}
+		// Aggregation/predict rules are maintained by recomputation.
+		var plain []*compiler.RulePlan
+		for _, r := range stratum {
+			if countable(r) {
+				plain = append(plain, r)
+				continue
+			}
+			if ruleTouched(r, acc) {
+				if err := m.recomputeUncounted(r, acc, old); err != nil {
+					return err
+				}
+			} else {
+				m.Stats.RulesSkipped++
+			}
+		}
+		if len(plain) == 0 {
+			continue
+		}
+		// Negation changes invalidate the over-deletion logic below; fall
+		// back to recomputing the stratum.
+		negChanged := false
+		for _, r := range plain {
+			if negTouched(r, acc) {
+				negChanged = true
+			}
+		}
+		if negChanged {
+			if err := m.recomputeStratum(plain, acc, old); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.dredStratum(plain, acc, old); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stratumTouched(stratum []*compiler.RulePlan, acc map[string]Delta) bool {
+	for _, r := range stratum {
+		if ruleTouched(r, acc) {
+			return true
+		}
+	}
+	return false
+}
+
+// recomputeStratum clears the stratum's head predicates and re-evaluates.
+func (m *Maintainer) recomputeStratum(rules []*compiler.RulePlan, acc map[string]Delta, old map[string]relation.Relation) error {
+	heads := map[string]bool{}
+	for _, r := range rules {
+		heads[r.HeadName] = true
+	}
+	origin := map[string]relation.Relation{}
+	for h := range heads {
+		origin[h] = m.ctx.Relation(h)
+		m.ctx.Set(h, relation.New(origin[h].Arity()))
+	}
+	m.Stats.RulesEvaluated += len(rules)
+	if err := m.ctx.EvalStratum(rules); err != nil {
+		return err
+	}
+	for h := range heads {
+		cur := m.ctx.Relation(h)
+		if !cur.Equal(origin[h]) {
+			if _, ok := old[h]; !ok {
+				old[h] = origin[h]
+			}
+			recordDiff(acc, h, origin[h], cur)
+		}
+	}
+	return nil
+}
+
+func (m *Maintainer) dredStratum(rules []*compiler.RulePlan, acc map[string]Delta, old map[string]relation.Relation) error {
+	heads := map[string]bool{}
+	rulesByHead := map[string][]*compiler.RulePlan{}
+	for _, r := range rules {
+		heads[r.HeadName] = true
+		rulesByHead[r.HeadName] = append(rulesByHead[r.HeadName], r)
+	}
+	origin := map[string]relation.Relation{}
+	for h := range heads {
+		origin[h] = m.ctx.Relation(h)
+	}
+	oldRelOf := func(name string) (relation.Relation, bool) {
+		if o, ok := old[name]; ok {
+			return o, true
+		}
+		if o, ok := origin[name]; ok {
+			return o, true
+		}
+		return relation.Relation{}, false
+	}
+
+	// 1. Over-delete to a fixpoint. delSeeds maps predicate name to the
+	// deletions not yet propagated.
+	delSeeds := map[string][]tuple.Tuple{}
+	for _, r := range rules {
+		for _, a := range r.Atoms {
+			if d := acc[a.Name]; len(d.Del) > 0 && !heads[a.Name] {
+				delSeeds[a.Name] = d.Del
+			}
+		}
+	}
+	overdeleted := map[string]map[string]tuple.Tuple{}
+	for len(delSeeds) > 0 {
+		next := map[string][]tuple.Tuple{}
+		for _, r := range rules {
+			for ai, a := range r.Atoms {
+				seeds, ok := delSeeds[a.Name]
+				if !ok {
+					continue
+				}
+				m.Stats.RulesEvaluated++
+				overrides := map[int]relation.Relation{
+					ai: relation.FromTuples(m.ctx.Relation(a.Name).Arity(), seeds),
+				}
+				// Other atoms read the ORIGINAL (pre-batch) state so every
+				// derivation that possibly used a deleted tuple is found.
+				for j, b := range r.Atoms {
+					if j == ai {
+						continue
+					}
+					if o, ok := oldRelOf(b.Name); ok {
+						overrides[j] = o
+					}
+				}
+				err := m.ctx.EnumerateRuleHeads(r, overrides, func(head tuple.Tuple) bool {
+					od := overdeleted[r.HeadName]
+					if od == nil {
+						od = map[string]tuple.Tuple{}
+						overdeleted[r.HeadName] = od
+					}
+					k := head.String()
+					if _, seen := od[k]; !seen && origin[r.HeadName].Contains(head) {
+						od[k] = head.Clone()
+						next[r.HeadName] = append(next[r.HeadName], head.Clone())
+					}
+					return true
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		delSeeds = next
+	}
+
+	// 2. Apply over-deletions.
+	for h, od := range overdeleted {
+		rel := m.ctx.Relation(h)
+		for _, t := range od {
+			rel = rel.Delete(t)
+		}
+		m.ctx.Set(h, rel)
+	}
+
+	// 3. Re-derive: over-deleted tuples with an alternative derivation in
+	// the reduced (but insertion-updated) state come back; rederived
+	// tuples can support further rederivations, so iterate.
+	rederived := map[string][]tuple.Tuple{}
+	changedSomething := true
+	for changedSomething {
+		changedSomething = false
+		for h, od := range overdeleted {
+			for k, t := range od {
+				still := false
+				for _, r := range rulesByHead[h] {
+					m.Stats.RederiveChecks++
+					ok, err := m.ctx.PinnedDerivable(r, t)
+					if err != nil {
+						return err
+					}
+					if ok {
+						still = true
+						break
+					}
+				}
+				if still {
+					m.ctx.Set(h, m.ctx.Relation(h).Insert(t))
+					rederived[h] = append(rederived[h], t)
+					delete(od, k)
+					changedSomething = true
+				}
+			}
+		}
+	}
+	_ = rederived
+
+	// 4. Insert: semi-naive propagation of external insertions.
+	insSeeds := map[string]relation.Relation{}
+	for _, r := range rules {
+		for _, a := range r.Atoms {
+			if d := acc[a.Name]; len(d.Ins) > 0 && !heads[a.Name] {
+				insSeeds[a.Name] = relation.FromTuples(m.ctx.Relation(a.Name).Arity(), d.Ins)
+			}
+		}
+	}
+	for len(insSeeds) > 0 {
+		next := map[string]relation.Relation{}
+		for _, r := range rules {
+			for ai, a := range r.Atoms {
+				dRel, ok := insSeeds[a.Name]
+				if !ok {
+					continue
+				}
+				m.Stats.RulesEvaluated++
+				derived, err := m.ctx.EvalRule(r, map[int]relation.Relation{ai: dRel})
+				if err != nil {
+					return err
+				}
+				cur := m.ctx.Relation(r.HeadName)
+				fresh := derived.Difference(cur)
+				if fresh.IsEmpty() {
+					continue
+				}
+				m.ctx.Set(r.HeadName, cur.Union(fresh))
+				nd, ok := next[r.HeadName]
+				if !ok {
+					nd = relation.New(fresh.Arity())
+				}
+				next[r.HeadName] = nd.Union(fresh)
+			}
+		}
+		insSeeds = next
+	}
+
+	// 5. Record final per-head deltas.
+	for h := range heads {
+		cur := m.ctx.Relation(h)
+		if !cur.Equal(origin[h]) {
+			if _, ok := old[h]; !ok {
+				old[h] = origin[h]
+			}
+			recordDiff(acc, h, origin[h], cur)
+		}
+	}
+	return nil
+}

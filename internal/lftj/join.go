@@ -1,0 +1,135 @@
+package lftj
+
+import (
+	"fmt"
+
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+// Atom is one conjunct of an equi-join: a predicate presented as a trie
+// iterator plus the mapping from its trie levels to join variables.
+// Vars[d] names the join variable bound at trie depth d; the sequence must
+// be strictly increasing so the atom's column order is consistent with the
+// join's variable order (atoms that are not consistent must be joined
+// through a secondary index, paper §3.2).
+type Atom struct {
+	Pred string // predicate identity, used for sensitivity recording
+	Iter trie.Iterator
+	Vars []int
+}
+
+// Join is a leapfrog triejoin over a set of atoms under a fixed variable
+// order. Conceptually it is a backtracking search through the trie of
+// potential variable bindings: at each variable a unary leapfrog
+// enumerates the values on which all participating atoms agree.
+type Join struct {
+	numVars int
+	atoms   []Atom
+	levels  [][]int           // levels[v] = indices of atoms participating at variable v
+	iters   [][]trie.Iterator // reusable iterator slices per variable
+	binding tuple.Tuple       // current prefix of variable bindings
+	rec     *recording
+}
+
+// NewJoin validates the atoms and builds a join over numVars variables
+// (numbered 0..numVars-1 in the chosen variable order). idx, if non-nil,
+// receives the sensitivity intervals of every subsequent Run.
+func NewJoin(numVars int, atoms []Atom, idx *SensitivityIndex) (*Join, error) {
+	j := &Join{
+		numVars: numVars,
+		atoms:   atoms,
+		levels:  make([][]int, numVars),
+		iters:   make([][]trie.Iterator, numVars),
+		binding: make(tuple.Tuple, numVars),
+	}
+	covered := make([]bool, numVars)
+	for ai, a := range atoms {
+		if len(a.Vars) != a.Iter.Arity() {
+			return nil, fmt.Errorf("lftj: atom %s has %d vars for arity %d", a.Pred, len(a.Vars), a.Iter.Arity())
+		}
+		for d, v := range a.Vars {
+			if v < 0 || v >= numVars {
+				return nil, fmt.Errorf("lftj: atom %s references variable %d out of range", a.Pred, v)
+			}
+			if d > 0 && a.Vars[d-1] >= v {
+				return nil, fmt.Errorf("lftj: atom %s variable order %v inconsistent with join order (secondary index required)", a.Pred, a.Vars)
+			}
+			j.levels[v] = append(j.levels[v], ai)
+			covered[v] = true
+		}
+	}
+	for v := 0; v < numVars; v++ {
+		if !covered[v] {
+			return nil, fmt.Errorf("lftj: variable %d is bound by no atom", v)
+		}
+		j.iters[v] = make([]trie.Iterator, len(j.levels[v]))
+	}
+	if idx != nil {
+		j.rec = newRecording(j, idx)
+	}
+	return j, nil
+}
+
+// Run enumerates all satisfying assignments in lexicographic order of the
+// variable order, calling emit for each. The binding tuple passed to emit
+// is reused between calls; clone it to retain it. Returning false from
+// emit aborts the enumeration.
+func (j *Join) Run(emit func(binding tuple.Tuple) bool) {
+	if j.numVars == 0 {
+		// Degenerate boolean join: satisfied iff every atom is nonempty,
+		// which is vacuously true here because zero-arity atoms cannot
+		// participate (arity ≥ 1 enforced by Vars validation).
+		emit(nil)
+		return
+	}
+	j.run(0, emit)
+}
+
+func (j *Join) run(v int, emit func(tuple.Tuple) bool) bool {
+	iters := j.iters[v]
+	for i, ai := range j.levels[v] {
+		it := j.atoms[ai].Iter
+		it.Open()
+		if j.rec != nil {
+			if it.AtEnd() {
+				j.rec.record(it, tuple.MinValue(), tuple.Value{}, true)
+			} else {
+				j.rec.record(it, tuple.MinValue(), it.Key(), false)
+			}
+		}
+		iters[i] = it
+	}
+	lf := Leapfrog{iters: iters, rec: j.rec}
+	lf.init()
+	cont := true
+	for cont && !lf.AtEnd() {
+		j.binding[v] = lf.Key()
+		if v == j.numVars-1 {
+			cont = emit(j.binding)
+		} else {
+			cont = j.run(v+1, emit)
+		}
+		if cont {
+			lf.Next()
+		}
+	}
+	for _, ai := range j.levels[v] {
+		j.atoms[ai].Iter.Up()
+	}
+	return cont
+}
+
+// Count runs the join and returns the number of satisfying assignments.
+func (j *Join) Count() int {
+	n := 0
+	j.Run(func(tuple.Tuple) bool { n++; return true })
+	return n
+}
+
+// Collect runs the join and returns all bindings (cloned).
+func (j *Join) Collect() []tuple.Tuple {
+	var out []tuple.Tuple
+	j.Run(func(b tuple.Tuple) bool { out = append(out, b.Clone()); return true })
+	return out
+}

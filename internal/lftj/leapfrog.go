@@ -1,0 +1,145 @@
+// Package lftj implements Leapfrog Triejoin (Veldhuizen, ICDT 2014), the
+// worst-case-optimal multiway equi-join at the heart of the LogicBlox
+// engine (paper §3.2), together with the sensitivity-interval machinery
+// used by incremental maintenance and transaction repair.
+package lftj
+
+import (
+	"fmt"
+
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+// Leapfrog performs the unary leapfrog join: given k iterators positioned
+// at the same trie level, it enumerates the intersection of their key sets
+// by repeatedly seeking the iterator with the smallest key to the largest
+// current key until all agree ("leapfrogging", paper Figure 3).
+//
+// The Leapfrog itself satisfies the linear-iterator contract (Key, Next,
+// Seek, AtEnd), so intersections compose.
+type Leapfrog struct {
+	iters []trie.Iterator
+	p     int // index of the iterator holding the smallest key
+	key   tuple.Value
+	atEnd bool
+	rec   *recording // optional sensitivity recording context (may be nil)
+}
+
+// NewLeapfrog initializes a leapfrog join over the given iterators, which
+// must all be positioned at a key (or already at end, making the join
+// empty). The rec argument may be nil.
+func NewLeapfrog(iters []trie.Iterator, rec *recording) *Leapfrog {
+	l := &Leapfrog{iters: iters, rec: rec}
+	l.init()
+	return l
+}
+
+func (l *Leapfrog) init() {
+	for _, it := range l.iters {
+		if it.AtEnd() {
+			l.atEnd = true
+			return
+		}
+	}
+	// Order iterators by current key (insertion sort: k is tiny).
+	for i := 1; i < len(l.iters); i++ {
+		for j := i; j > 0 && tuple.Less(l.iters[j].Key(), l.iters[j-1].Key()); j-- {
+			l.iters[j], l.iters[j-1] = l.iters[j-1], l.iters[j]
+		}
+	}
+	l.p = 0
+	l.search()
+}
+
+// search leapfrogs until all iterators sit on the same key, or any
+// reaches the end.
+func (l *Leapfrog) search() {
+	k := len(l.iters)
+	max := l.iters[(l.p+k-1)%k].Key()
+	for {
+		it := l.iters[l.p]
+		x := it.Key()
+		if tuple.Equal(x, max) {
+			l.key = x
+			return
+		}
+		l.seekIter(it, max)
+		if it.AtEnd() {
+			l.atEnd = true
+			return
+		}
+		max = it.Key()
+		l.p = (l.p + 1) % k
+	}
+}
+
+// Key returns the current match. Only valid when !AtEnd().
+func (l *Leapfrog) Key() tuple.Value { return l.key }
+
+// AtEnd reports whether the intersection is exhausted.
+func (l *Leapfrog) AtEnd() bool { return l.atEnd }
+
+// Next advances to the next key in the intersection.
+func (l *Leapfrog) Next() {
+	if l.atEnd {
+		return
+	}
+	it := l.iters[l.p]
+	prev := it.Key()
+	it.Next()
+	if it.AtEnd() {
+		l.record(it, prev, tuple.Value{}, true)
+		l.atEnd = true
+		return
+	}
+	l.record(it, prev, it.Key(), false)
+	l.p = (l.p + 1) % len(l.iters)
+	l.search()
+}
+
+// Seek advances to the least key ≥ v in the intersection.
+func (l *Leapfrog) Seek(v tuple.Value) {
+	if l.atEnd {
+		return
+	}
+	it := l.iters[l.p]
+	l.seekIter(it, v)
+	if it.AtEnd() {
+		l.atEnd = true
+		return
+	}
+	l.p = (l.p + 1) % len(l.iters)
+	l.search()
+}
+
+func (l *Leapfrog) seekIter(it trie.Iterator, v tuple.Value) {
+	it.Seek(v)
+	if it.AtEnd() {
+		l.record(it, v, tuple.Value{}, true)
+	} else {
+		l.record(it, v, it.Key(), false)
+	}
+}
+
+func (l *Leapfrog) record(it trie.Iterator, lo, hi tuple.Value, openEnded bool) {
+	if l.rec != nil {
+		l.rec.record(it, lo, hi, openEnded)
+	}
+}
+
+// Intersect is a convenience that materializes the intersection of unary
+// iterators (each must be freshly rooted: it opens them itself).
+func Intersect(iters ...trie.Iterator) []tuple.Value {
+	for _, it := range iters {
+		if it.Arity() != 1 {
+			panic(fmt.Sprintf("lftj: Intersect requires unary iterators, got arity %d", it.Arity()))
+		}
+		it.Open()
+	}
+	var out []tuple.Value
+	for l := NewLeapfrog(iters, nil); !l.AtEnd(); l.Next() {
+		out = append(out, l.Key())
+	}
+	return out
+}

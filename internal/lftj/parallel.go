@@ -1,0 +1,200 @@
+package lftj
+
+import (
+	"sort"
+	"sync"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+// Domain decomposition (paper §3.2): the first join variable's domain is
+// split into disjoint ranges — chosen from quantiles of a predicate
+// sample — and an independent leapfrog triejoin runs per range on its own
+// iterators, in parallel. Because the ranges partition the first
+// variable, the union of the partial results is exactly the join.
+
+// RangeIterator is a virtual unary predicate covering the half-open
+// interval [lo, hi) densely: joined on a variable, it restricts that
+// variable to the range without enumerating it (Seek answers any probe in
+// range with the probe itself).
+type RangeIterator struct {
+	lo, hi tuple.Value // hi = MaxValue means unbounded above
+	cur    tuple.Value
+	depth  int
+	atEnd  bool
+}
+
+// NewRangeIterator returns a unary iterator over [lo, hi).
+func NewRangeIterator(lo, hi tuple.Value) *RangeIterator {
+	return &RangeIterator{lo: lo, hi: hi, depth: -1}
+}
+
+// Arity implements trie.Iterator.
+func (r *RangeIterator) Arity() int { return 1 }
+
+// Depth implements trie.Iterator.
+func (r *RangeIterator) Depth() int { return r.depth }
+
+// AtEnd implements trie.Iterator.
+func (r *RangeIterator) AtEnd() bool { return r.atEnd }
+
+// Key implements trie.Iterator.
+func (r *RangeIterator) Key() tuple.Value {
+	if r.depth != 0 || r.atEnd {
+		panic("lftj: RangeIterator.Key at root or end")
+	}
+	return r.cur
+}
+
+// Open implements trie.Iterator.
+func (r *RangeIterator) Open() {
+	if r.depth != -1 {
+		panic("lftj: RangeIterator.Open below leaf")
+	}
+	r.depth = 0
+	r.cur = r.lo
+	r.atEnd = !r.inRange(r.lo)
+}
+
+// Up implements trie.Iterator.
+func (r *RangeIterator) Up() {
+	r.depth = -1
+	r.atEnd = false
+}
+
+func (r *RangeIterator) inRange(v tuple.Value) bool {
+	return tuple.Compare(v, r.hi) < 0
+}
+
+// Next implements trie.Iterator: a dense range advances to the successor
+// of the current key in the value order (the leapfrog search then seeks
+// the real iterators past it).
+func (r *RangeIterator) Next() {
+	if r.atEnd {
+		return
+	}
+	r.cur = tuple.Successor(r.cur)
+	r.atEnd = !r.inRange(r.cur)
+}
+
+// Seek implements trie.Iterator.
+func (r *RangeIterator) Seek(v tuple.Value) {
+	if tuple.Compare(v, r.lo) < 0 {
+		v = r.lo
+	}
+	r.cur = v
+	r.atEnd = !r.inRange(v)
+}
+
+// Quantiles picks up to parts−1 cut points from the first column of a
+// sample relation, splitting the domain into parts ranges of roughly
+// equal sample mass.
+func Quantiles(sample relation.Relation, parts int) []tuple.Value {
+	if parts <= 1 {
+		return nil
+	}
+	var firsts []tuple.Value
+	seen := map[string]bool{}
+	sample.ForEach(func(t tuple.Tuple) bool {
+		k := t[0].String()
+		if !seen[k] {
+			seen[k] = true
+			firsts = append(firsts, t[0])
+		}
+		return true
+	})
+	sort.Slice(firsts, func(i, j int) bool { return tuple.Less(firsts[i], firsts[j]) })
+	if len(firsts) < parts {
+		return nil
+	}
+	cuts := make([]tuple.Value, 0, parts-1)
+	for i := 1; i < parts; i++ {
+		cuts = append(cuts, firsts[i*len(firsts)/parts])
+	}
+	return cuts
+}
+
+// PartitionedRun executes the join in parallel over a domain
+// decomposition of the first join variable: cuts split the domain into
+// len(cuts)+1 ranges; mkAtoms must build a fresh, independent atom list
+// per partition (iterators are stateful). emit is called concurrently
+// from partition workers and must be safe for concurrent use — or use
+// PartitionedCount / PartitionedCollect.
+func PartitionedRun(numVars int, mkAtoms func() []Atom, cuts []tuple.Value,
+	workers int, emit func(binding tuple.Tuple) bool) error {
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := makeBounds(cuts)
+	errs := make([]error, len(bounds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, b := range bounds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, lo, hi tuple.Value) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			atoms := mkAtoms()
+			atoms = append(atoms, Atom{
+				Pred: "$range", Iter: NewRangeIterator(lo, hi), Vars: []int{0},
+			})
+			j, err := NewJoin(numVars, atoms, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			j.Run(emit)
+		}(i, b[0], b[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func makeBounds(cuts []tuple.Value) [][2]tuple.Value {
+	lo := tuple.MinValue()
+	var out [][2]tuple.Value
+	for _, c := range cuts {
+		out = append(out, [2]tuple.Value{lo, c})
+		lo = c
+	}
+	out = append(out, [2]tuple.Value{lo, tuple.MaxValue()})
+	return out
+}
+
+// PartitionedCount counts the join results across a domain decomposition.
+func PartitionedCount(numVars int, mkAtoms func() []Atom, cuts []tuple.Value, workers int) (int, error) {
+	var mu sync.Mutex
+	n := 0
+	err := PartitionedRun(numVars, mkAtoms, cuts, workers, func(tuple.Tuple) bool {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		return true
+	})
+	return n, err
+}
+
+// PartitionedCollect gathers all bindings across a domain decomposition
+// (order is per-partition ascending but partitions may interleave).
+func PartitionedCollect(numVars int, mkAtoms func() []Atom, cuts []tuple.Value, workers int) ([]tuple.Tuple, error) {
+	var mu sync.Mutex
+	var out []tuple.Tuple
+	err := PartitionedRun(numVars, mkAtoms, cuts, workers, func(b tuple.Tuple) bool {
+		c := b.Clone()
+		mu.Lock()
+		out = append(out, c)
+		mu.Unlock()
+		return true
+	})
+	return out, err
+}
+
+var _ trie.Iterator = (*RangeIterator)(nil)

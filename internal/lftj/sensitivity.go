@@ -1,0 +1,255 @@
+package lftj
+
+import (
+	"sort"
+	"strings"
+
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+// Interval is a sensitivity interval: a region of one predicate's trie in
+// which an insertion or deletion could change the outcome of a join run
+// (paper §3.2). Prefix fixes the keys of the trie levels above; [Lo, Hi]
+// bounds the keys at the interval's level. Lo = tuple.MinValue() encodes
+// −∞ and Hi = tuple.MaxValue() encodes +∞.
+type Interval struct {
+	Prefix tuple.Tuple
+	Lo, Hi tuple.Value
+}
+
+// Covers reports whether a change to tuple t (of the interval's predicate)
+// falls inside the interval: t extends Prefix and its next column lies in
+// [Lo, Hi].
+func (iv Interval) Covers(t tuple.Tuple) bool {
+	d := len(iv.Prefix)
+	if d >= len(t) {
+		return false
+	}
+	for i := 0; i < d; i++ {
+		if !tuple.Equal(t[i], iv.Prefix[i]) {
+			return false
+		}
+	}
+	return tuple.Compare(iv.Lo, t[d]) <= 0 && tuple.Compare(t[d], iv.Hi) <= 0
+}
+
+func (iv Interval) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	if iv.Prefix != nil {
+		b.WriteString(iv.Prefix.String())
+		b.WriteByte(' ')
+	}
+	if iv.Lo.IsNull() {
+		b.WriteString("-inf")
+	} else {
+		b.WriteString(iv.Lo.String())
+	}
+	b.WriteString(", ")
+	if tuple.Equal(iv.Hi, tuple.MaxValue()) {
+		b.WriteString("+inf")
+	} else {
+		b.WriteString(iv.Hi.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// SensitivityIndex accumulates the sensitivity intervals of join runs,
+// grouped by predicate. It answers the question central to both
+// incremental maintenance and transaction repair: "could this change have
+// affected that computation?"
+//
+// Probes are served from a lazily built lookup structure: intervals are
+// bucketed by (predicate, prefix), sorted by lower bound with a running
+// maximum of upper bounds, so Affected is a hash lookup plus a binary
+// search instead of a scan.
+type SensitivityIndex struct {
+	byPred map[string][]Interval
+	lookup map[string]map[string]*bucket // pred → prefix string → bucket
+	dirty  bool
+}
+
+// bucket holds the intervals sharing one (pred, prefix), sorted by Lo,
+// with maxHi[i] = max(Hi[0..i]) for O(log n) stabbing queries.
+type bucket struct {
+	lo    []tuple.Value
+	maxHi []tuple.Value
+}
+
+// NewSensitivityIndex returns an empty index.
+func NewSensitivityIndex() *SensitivityIndex {
+	return &SensitivityIndex{byPred: make(map[string][]Interval)}
+}
+
+// Add records an interval for pred. The prefix is cloned.
+func (x *SensitivityIndex) Add(pred string, prefix tuple.Tuple, lo, hi tuple.Value) {
+	x.byPred[pred] = append(x.byPred[pred], Interval{Prefix: prefix.Clone(), Lo: lo, Hi: hi})
+	x.dirty = true
+}
+
+// AddPoint records a single-tuple sensitivity (used for membership probes
+// of negated atoms and for written keys).
+func (x *SensitivityIndex) AddPoint(pred string, t tuple.Tuple) {
+	if len(t) == 0 {
+		x.byPred[pred] = append(x.byPred[pred], Interval{Lo: tuple.MinValue(), Hi: tuple.MaxValue()})
+		x.dirty = true
+		return
+	}
+	last := len(t) - 1
+	x.byPred[pred] = append(x.byPred[pred], Interval{Prefix: t[:last].Clone(), Lo: t[last], Hi: t[last]})
+	x.dirty = true
+}
+
+// Affected reports whether a change to tuple t of predicate pred falls in
+// any recorded interval.
+func (x *SensitivityIndex) Affected(pred string, t tuple.Tuple) bool {
+	x.rebuildLookup()
+	buckets, ok := x.lookup[pred]
+	if !ok {
+		return false
+	}
+	// An interval at depth d covers t when its prefix matches t[:d] and
+	// t[d] ∈ [Lo, Hi]; check every depth.
+	for d := 0; d < len(t); d++ {
+		b, ok := buckets[tuple.Tuple(t[:d]).String()]
+		if !ok {
+			continue
+		}
+		v := t[d]
+		// Largest i with lo[i] <= v.
+		n := len(b.lo)
+		pos := sort.Search(n, func(i int) bool { return tuple.Compare(b.lo[i], v) > 0 }) - 1
+		if pos >= 0 && tuple.Compare(b.maxHi[pos], v) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildLookup (re)derives the probe structure after mutations.
+func (x *SensitivityIndex) rebuildLookup() {
+	if !x.dirty && x.lookup != nil {
+		return
+	}
+	x.lookup = make(map[string]map[string]*bucket, len(x.byPred))
+	for pred, ivs := range x.byPred {
+		byPrefix := map[string][]Interval{}
+		for _, iv := range ivs {
+			key := iv.Prefix.String()
+			byPrefix[key] = append(byPrefix[key], iv)
+		}
+		buckets := make(map[string]*bucket, len(byPrefix))
+		for key, group := range byPrefix {
+			sort.Slice(group, func(i, j int) bool { return tuple.Less(group[i].Lo, group[j].Lo) })
+			b := &bucket{lo: make([]tuple.Value, len(group)), maxHi: make([]tuple.Value, len(group))}
+			for i, iv := range group {
+				b.lo[i] = iv.Lo
+				b.maxHi[i] = iv.Hi
+				if i > 0 && tuple.Less(b.maxHi[i], b.maxHi[i-1]) {
+					b.maxHi[i] = b.maxHi[i-1]
+				}
+			}
+			buckets[key] = b
+		}
+		x.lookup[pred] = buckets
+	}
+	x.dirty = false
+}
+
+// AffectedAny reports whether any of the changes intersects the index.
+func (x *SensitivityIndex) AffectedAny(pred string, ts []tuple.Tuple) bool {
+	for _, t := range ts {
+		if x.Affected(pred, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Merge folds the intervals of o into x.
+func (x *SensitivityIndex) Merge(o *SensitivityIndex) {
+	for pred, ivs := range o.byPred {
+		x.byPred[pred] = append(x.byPred[pred], ivs...)
+	}
+	x.dirty = true
+}
+
+// Len returns the total number of recorded intervals.
+func (x *SensitivityIndex) Len() int {
+	n := 0
+	for _, ivs := range x.byPred {
+		n += len(ivs)
+	}
+	return n
+}
+
+// Reset drops all recorded intervals.
+func (x *SensitivityIndex) Reset() {
+	x.byPred = make(map[string][]Interval)
+	x.lookup = nil
+	x.dirty = false
+}
+
+// Intervals returns the intervals recorded for pred, sorted for stable
+// presentation (by prefix, then lower bound).
+func (x *SensitivityIndex) Intervals(pred string) []Interval {
+	ivs := append([]Interval(nil), x.byPred[pred]...)
+	sort.Slice(ivs, func(i, j int) bool {
+		if c := ivs[i].Prefix.Compare(ivs[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return tuple.Less(ivs[i].Lo, ivs[j].Lo)
+	})
+	return ivs
+}
+
+// Preds returns the predicates with recorded intervals, sorted.
+func (x *SensitivityIndex) Preds() []string {
+	var out []string
+	for p := range x.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recording adapts join-run iterator movements into sensitivity-index
+// entries. It maps each atom's iterator back to the atom so the interval's
+// prefix (the atom's ancestor keys) can be read from the current binding.
+type recording struct {
+	j    *Join
+	idx  *SensitivityIndex
+	atom map[trie.Iterator]*Atom
+}
+
+func newRecording(j *Join, idx *SensitivityIndex) *recording {
+	r := &recording{j: j, idx: idx, atom: make(map[trie.Iterator]*Atom, len(j.atoms))}
+	for i := range j.atoms {
+		r.atom[j.atoms[i].Iter] = &j.atoms[i]
+	}
+	return r
+}
+
+// record notes that iterator it moved within [lo, hi] (hi open-ended when
+// openEnded) at its current depth, under the atom's current ancestor keys.
+func (r *recording) record(it trie.Iterator, lo, hi tuple.Value, openEnded bool) {
+	a, ok := r.atom[it]
+	if !ok {
+		return
+	}
+	d := it.Depth()
+	if d < 0 {
+		return
+	}
+	prefix := make(tuple.Tuple, d)
+	for i := 0; i < d; i++ {
+		prefix[i] = r.j.binding[a.Vars[i]]
+	}
+	if openEnded {
+		hi = tuple.MaxValue()
+	}
+	r.idx.byPred[a.Pred] = append(r.idx.byPred[a.Pred], Interval{Prefix: prefix, Lo: lo, Hi: hi})
+	r.idx.dirty = true
+}

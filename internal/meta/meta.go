@@ -1,0 +1,241 @@
+// Package meta implements the meta-engine (paper §3.3, Figure 6): the
+// lightweight higher-level engine that manages LogiQL application code as
+// data. Programs are represented as collections of meta-facts, and
+// meta-rules — written in LogiQL and evaluated by the very engine they
+// describe — derive the code invariants the paper lists (the lang_edb
+// base-predicate inference, the need_frame_rule invariant) as well as the
+// dirty-predicate analysis that drives live programming: after an
+// addblock/removeblock, only the derived predicates the meta-engine marks
+// dirty are re-derived.
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"logicblox/internal/ast"
+	"logicblox/internal/compiler"
+	"logicblox/internal/engine"
+	"logicblox/internal/parser"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// MetaRules is the meta-program: non-recursive Datalog with negation plus
+// one recursive dependency closure, expressed in LogiQL and evaluated by
+// the engine proper. The first two rules are the ones printed in the
+// paper (§3.3), modulo surface syntax.
+const MetaRules = `
+	// A predicate not implied to be derived is a base predicate.
+	lang_idb(p) <- rule_head_plain(r, p), user_rule(r).
+	lang_edb(p) <- lang_predname(p), !lang_idb(p).
+
+	// If +Foo or -Foo appears in the head of a rule, Foo needs a frame rule.
+	need_frame_rule(p) <- user_rule(r), rule_head_delta(r, p).
+
+	// Dependency graph: p feeds q when a rule reads p and derives q.
+	affects(p, q) <- user_rule(r), rule_body_pred(r, p), rule_head_plain(r, q).
+	affects(p, q) <- user_rule(r), rule_neg_pred(r, p), rule_head_plain(r, q).
+
+	// A rule is changed if it is new or removed between program versions.
+	added_rule(r) <- new_rule(r), !old_rule(r).
+	removed_rule(r) <- old_rule(r), !new_rule(r).
+
+	// Dirty predicates: heads of changed rules, closed under dependency.
+	dirty(q) <- added_rule(r), rule_head_plain(r, q).
+	dirty(q) <- removed_rule(r), rule_head_plain_old(r, q).
+	dirty(q) <- dirty(p), affects(p, q).
+
+	// A derived predicate that is dirty must be re-materialized; a dirty
+	// name that is no longer derived by any rule must be dropped.
+	revise(p) <- dirty(p), lang_idb(p).
+	drop_pred(p) <- dirty(p), !lang_idb(p).
+`
+
+// Analysis is the meta-engine's output for a program change.
+type Analysis struct {
+	EDB           []string // inferred base predicates (new program)
+	IDB           []string // inferred derived predicates (new program)
+	NeedFrameRule []string // base predicates requiring frame rules
+	AddedRules    []string // rule sources present only in the new program
+	RemovedRules  []string // rule sources present only in the old program
+	DirtyPreds    []string // derived predicates that must be re-materialized
+	DropPreds     []string // previously derived predicates with no remaining rules
+}
+
+// Facts lowers parsed blocks into meta-fact relations. Rules are
+// identified by their pretty-printed source (treaps of meta-objects give
+// the unique-representation the paper relies on; a printed rule is its
+// own canonical form here).
+func Facts(blocks map[string]*ast.Program) map[string]relation.Relation {
+	f := newFactBuilder()
+	// Deterministic block order.
+	var names []string
+	for b := range blocks {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	for _, b := range names {
+		f.addBlock(b, blocks[b])
+	}
+	return f.rels
+}
+
+type factBuilder struct {
+	rels map[string]relation.Relation
+}
+
+func newFactBuilder() *factBuilder {
+	return &factBuilder{rels: map[string]relation.Relation{
+		"block":            relation.New(1),
+		"block_rule":       relation.New(2),
+		"user_rule":        relation.New(1),
+		"rule_head_plain":  relation.New(2),
+		"rule_head_delta":  relation.New(2),
+		"rule_body_pred":   relation.New(2),
+		"rule_neg_pred":    relation.New(2),
+		"lang_predname":    relation.New(1),
+		"constraint_block": relation.New(2),
+	}}
+}
+
+func (f *factBuilder) add(pred string, vals ...string) {
+	t := make(tuple.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = tuple.String(v)
+	}
+	f.rels[pred] = f.rels[pred].Insert(t)
+}
+
+func (f *factBuilder) addBlock(name string, prog *ast.Program) {
+	f.add("block", name)
+	for _, cl := range prog.Clauses {
+		switch cl := cl.(type) {
+		case *ast.Rule:
+			rid := cl.String()
+			f.add("block_rule", name, rid)
+			f.add("user_rule", rid)
+			for _, h := range cl.Heads {
+				f.add("lang_predname", h.Pred)
+				if h.Delta == ast.DeltaNone {
+					f.add("rule_head_plain", rid, h.Pred)
+				} else {
+					f.add("rule_head_delta", rid, h.Pred)
+				}
+				// Functional applications inside head terms (abbreviated
+				// syntax) are body dependencies.
+				for _, t := range h.AllTerms() {
+					addTermPreds(f, rid, t)
+				}
+			}
+			for _, l := range cl.Body {
+				if l.Atom == nil {
+					addTermPreds(f, rid, l.Cmp.L)
+					addTermPreds(f, rid, l.Cmp.R)
+					continue
+				}
+				f.add("lang_predname", l.Atom.Pred)
+				if l.Negated {
+					f.add("rule_neg_pred", rid, l.Atom.Pred)
+				} else {
+					f.add("rule_body_pred", rid, l.Atom.Pred)
+				}
+				for _, t := range l.Atom.AllTerms() {
+					addTermPreds(f, rid, t)
+				}
+			}
+		case *ast.Constraint:
+			f.add("constraint_block", name, cl.String())
+			for _, l := range append(append([]*ast.Literal{}, cl.Body...), cl.Head...) {
+				if l.Atom != nil {
+					if _, isType := ast.TypeAtoms[l.Atom.Pred]; !isType {
+						f.add("lang_predname", l.Atom.Pred)
+					}
+				}
+			}
+		}
+	}
+}
+
+// addTermPreds records functional applications nested in terms as body
+// dependencies.
+func addTermPreds(f *factBuilder, rid string, t ast.Term) {
+	switch t := t.(type) {
+	case ast.FuncApp:
+		f.add("lang_predname", t.Pred)
+		f.add("rule_body_pred", rid, t.Pred)
+		for _, a := range t.Args {
+			addTermPreds(f, rid, a)
+		}
+	case ast.Arith:
+		addTermPreds(f, rid, t.L)
+		addTermPreds(f, rid, t.R)
+	}
+}
+
+// Analyze runs the meta-program over the meta-facts of the old and new
+// program versions and returns the incremental-code-maintenance analysis.
+func Analyze(oldBlocks, newBlocks map[string]*ast.Program) (*Analysis, error) {
+	metaProg, err := compiledMetaProgram()
+	if err != nil {
+		return nil, err
+	}
+	newFacts := Facts(newBlocks)
+	oldFacts := Facts(oldBlocks)
+
+	base := map[string]relation.Relation{}
+	for k, v := range newFacts {
+		base[k] = v
+	}
+	// Rule-version relations for change detection.
+	base["new_rule"] = newFacts["user_rule"]
+	base["old_rule"] = oldFacts["user_rule"]
+	// Head facts of the OLD program, needed for removed-rule dirtiness.
+	base["rule_head_plain_old"] = oldFacts["rule_head_plain"]
+	// The union of predicate names across versions, so drops are visible.
+	base["lang_predname"] = newFacts["lang_predname"].Union(oldFacts["lang_predname"])
+
+	ctx := engine.NewContext(metaProg, base, engine.Options{})
+	if err := ctx.EvalAll(); err != nil {
+		return nil, fmt.Errorf("meta-engine: %w", err)
+	}
+	out := &Analysis{
+		EDB:           unaryStrings(ctx.Relation("lang_edb")),
+		IDB:           unaryStrings(ctx.Relation("lang_idb")),
+		NeedFrameRule: unaryStrings(ctx.Relation("need_frame_rule")),
+		AddedRules:    unaryStrings(ctx.Relation("added_rule")),
+		RemovedRules:  unaryStrings(ctx.Relation("removed_rule")),
+		DirtyPreds:    unaryStrings(ctx.Relation("revise")),
+		DropPreds:     unaryStrings(ctx.Relation("drop_pred")),
+	}
+	return out, nil
+}
+
+func unaryStrings(r relation.Relation) []string {
+	var out []string
+	r.ForEach(func(t tuple.Tuple) bool {
+		out = append(out, t[0].AsString())
+		return true
+	})
+	return out
+}
+
+var (
+	metaOnce     sync.Once
+	metaCompiled *compiler.Program
+	metaErr      error
+)
+
+// compiledMetaProgram parses and compiles the meta-program once.
+func compiledMetaProgram() (*compiler.Program, error) {
+	metaOnce.Do(func() {
+		prog, err := parser.Parse(MetaRules)
+		if err != nil {
+			metaErr = fmt.Errorf("meta-rules parse: %w", err)
+			return
+		}
+		metaCompiled, metaErr = compiler.Compile(prog)
+	})
+	return metaCompiled, metaErr
+}

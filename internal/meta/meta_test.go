@@ -1,0 +1,193 @@
+package meta
+
+import (
+	"sort"
+	"testing"
+
+	"logicblox/internal/ast"
+	"logicblox/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func has(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLangEDBInference(t *testing.T) {
+	// The paper's lang_edb meta-rule: predicates not implied to be derived
+	// are base predicates.
+	blocks := map[string]*ast.Program{
+		"b1": parse(t, `
+			path(x, y) <- edge(x, y).
+			path(x, z) <- path(x, y), edge(y, z).`),
+	}
+	a, err := Analyze(blocks, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has(a.EDB, "edge") || has(a.EDB, "path") {
+		t.Fatalf("EDB = %v", a.EDB)
+	}
+	if !has(a.IDB, "path") || has(a.IDB, "edge") {
+		t.Fatalf("IDB = %v", a.IDB)
+	}
+}
+
+func TestNeedFrameRule(t *testing.T) {
+	// The paper's need_frame_rule meta-rule: +Foo / -Foo in a rule head
+	// demands a frame rule for Foo.
+	blocks := map[string]*ast.Program{
+		"b": parse(t, `
+			+inventory[x] = v <- order(x, v).
+			report(x) <- inventory[x] = v, v < 10.`),
+	}
+	a, err := Analyze(blocks, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has(a.NeedFrameRule, "inventory") {
+		t.Fatalf("NeedFrameRule = %v", a.NeedFrameRule)
+	}
+	if has(a.NeedFrameRule, "report") {
+		t.Fatalf("report should not need a frame rule: %v", a.NeedFrameRule)
+	}
+}
+
+func TestAddBlockDirtiness(t *testing.T) {
+	oldBlocks := map[string]*ast.Program{
+		"base": parse(t, `
+			b(x) <- a(x).
+			c(x) <- b(x).`),
+	}
+	newBlocks := map[string]*ast.Program{
+		"base": oldBlocks["base"],
+		"agg1": parse(t, `d(x) <- b(x), big(x).`),
+	}
+	a, err := Analyze(oldBlocks, newBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.AddedRules) != 1 {
+		t.Fatalf("AddedRules = %v", a.AddedRules)
+	}
+	// Only d is dirty: the new rule derives d and nothing depends on d.
+	if !has(a.DirtyPreds, "d") {
+		t.Fatalf("DirtyPreds = %v", a.DirtyPreds)
+	}
+	if has(a.DirtyPreds, "b") || has(a.DirtyPreds, "c") {
+		t.Fatalf("unaffected views marked dirty: %v", a.DirtyPreds)
+	}
+}
+
+func TestRemoveBlockDirtinessPropagates(t *testing.T) {
+	oldBlocks := map[string]*ast.Program{
+		"base": parse(t, `b(x) <- a(x).`),
+		"mid":  parse(t, `c(x) <- b(x).`),
+		"top":  parse(t, `d(x) <- c(x). e(x) <- unrelated(x).`),
+	}
+	newBlocks := map[string]*ast.Program{
+		"base": oldBlocks["base"],
+		"top":  oldBlocks["top"],
+	}
+	a, err := Analyze(oldBlocks, newBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.RemovedRules) != 1 {
+		t.Fatalf("RemovedRules = %v", a.RemovedRules)
+	}
+	// c lost its only rule → dropped; d depends on c → revised; e untouched.
+	if !has(a.DropPreds, "c") {
+		t.Fatalf("DropPreds = %v", a.DropPreds)
+	}
+	if !has(a.DirtyPreds, "d") {
+		t.Fatalf("DirtyPreds = %v", a.DirtyPreds)
+	}
+	if has(a.DirtyPreds, "e") {
+		t.Fatalf("unrelated view e marked dirty: %v", a.DirtyPreds)
+	}
+}
+
+func TestEditRuleMarksDownstreamDirty(t *testing.T) {
+	oldBlocks := map[string]*ast.Program{
+		"b": parse(t, `
+			v(x) <- src(x).
+			w(x) <- v(x).
+			u(x) <- w(x).`),
+	}
+	newBlocks := map[string]*ast.Program{
+		"b": parse(t, `
+			v(x) <- src(x), keep(x).
+			w(x) <- v(x).
+			u(x) <- w(x).`),
+	}
+	a, err := Analyze(oldBlocks, newBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"u", "v", "w"}
+	got := append([]string(nil), a.DirtyPreds...)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("DirtyPreds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DirtyPreds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFactsDeterministic(t *testing.T) {
+	blocks := map[string]*ast.Program{
+		"a": parse(t, `x(i) <- y(i).`),
+		"b": parse(t, `z(i) <- x(i).`),
+	}
+	f1 := Facts(blocks)
+	f2 := Facts(blocks)
+	for name, r1 := range f1 {
+		if !r1.Equal(f2[name]) {
+			t.Fatalf("meta-facts for %s not deterministic", name)
+		}
+	}
+	if f1["user_rule"].Len() != 2 || f1["block"].Len() != 2 {
+		t.Fatalf("fact counts wrong: rules=%d blocks=%d", f1["user_rule"].Len(), f1["block"].Len())
+	}
+}
+
+func TestFuncAppDependenciesTracked(t *testing.T) {
+	blocks := map[string]*ast.Program{
+		"b": parse(t, `profit[s] = sellingPrice[s] - buyingPrice[s] <- Product(s).`),
+	}
+	a, err := Analyze(blocks, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has(a.EDB, "sellingPrice") || !has(a.IDB, "profit") {
+		t.Fatalf("EDB=%v IDB=%v", a.EDB, a.IDB)
+	}
+}
+
+func TestNoChangeNoDirty(t *testing.T) {
+	blocks := map[string]*ast.Program{"b": parse(t, `v(x) <- a(x).`)}
+	a, err := Analyze(blocks, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.DirtyPreds) != 0 || len(a.AddedRules) != 0 || len(a.RemovedRules) != 0 {
+		t.Fatalf("identical programs produced changes: %+v", a)
+	}
+}

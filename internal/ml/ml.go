@@ -1,0 +1,256 @@
+// Package ml implements the built-in machine-learning library backing
+// LogiQL's predict P2P rules (paper §2.3.2): logistic and linear
+// regression over named feature vectors, plus the model registry that
+// maps model handles (values stored in predicates) to trained models.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Example is one training example: a named feature vector and a target.
+type Example struct {
+	Features map[string]float64
+	Target   float64
+}
+
+// Model is a trained predictive model.
+type Model interface {
+	// Predict evaluates the model on a feature vector.
+	Predict(features map[string]float64) float64
+	// Kind names the model family ("logist", "linear").
+	Kind() string
+}
+
+// featureNames returns the sorted union of feature names across examples,
+// for a stable parameter layout.
+func featureNames(examples []Example) []string {
+	set := map[string]bool{}
+	for _, ex := range examples {
+		for f := range ex.Features {
+			set[f] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for f := range set {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LogisticModel is a binary logistic-regression model. Targets are
+// interpreted as probabilities/labels in [0,1]; Predict returns the
+// sigmoid activation.
+type LogisticModel struct {
+	Names   []string
+	Weights []float64
+	Bias    float64
+}
+
+// Kind implements Model.
+func (m *LogisticModel) Kind() string { return "logist" }
+
+// Predict implements Model.
+func (m *LogisticModel) Predict(features map[string]float64) float64 {
+	z := m.Bias
+	for i, n := range m.Names {
+		z += m.Weights[i] * features[n]
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// LogisticOptions tune gradient descent.
+type LogisticOptions struct {
+	LearningRate float64 // default 0.5
+	Epochs       int     // default 500
+	L2           float64 // ridge penalty, default 1e-4
+}
+
+// TrainLogistic fits a logistic-regression model by batch gradient
+// descent. Targets outside [0,1] are clamped.
+func TrainLogistic(examples []Example, opts LogisticOptions) (*LogisticModel, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("ml: no training examples")
+	}
+	if opts.LearningRate == 0 {
+		opts.LearningRate = 0.5
+	}
+	if opts.Epochs == 0 {
+		opts.Epochs = 500
+	}
+	if opts.L2 == 0 {
+		opts.L2 = 1e-4
+	}
+	names := featureNames(examples)
+	m := &LogisticModel{Names: names, Weights: make([]float64, len(names))}
+	n := float64(len(examples))
+	gradW := make([]float64, len(names))
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for i := range gradW {
+			gradW[i] = opts.L2 * m.Weights[i]
+		}
+		gradB := 0.0
+		for _, ex := range examples {
+			y := clamp01(ex.Target)
+			p := m.Predict(ex.Features)
+			d := p - y
+			for i, name := range names {
+				gradW[i] += d * ex.Features[name] / n
+			}
+			gradB += d / n
+		}
+		for i := range m.Weights {
+			m.Weights[i] -= opts.LearningRate * gradW[i]
+		}
+		m.Bias -= opts.LearningRate * gradB
+	}
+	return m, nil
+}
+
+func clamp01(y float64) float64 {
+	switch {
+	case y < 0:
+		return 0
+	case y > 1:
+		return 1
+	}
+	return y
+}
+
+// LinearModel is an ordinary least-squares linear regression model.
+type LinearModel struct {
+	Names   []string
+	Weights []float64
+	Bias    float64
+}
+
+// Kind implements Model.
+func (m *LinearModel) Kind() string { return "linear" }
+
+// Predict implements Model.
+func (m *LinearModel) Predict(features map[string]float64) float64 {
+	z := m.Bias
+	for i, n := range m.Names {
+		z += m.Weights[i] * features[n]
+	}
+	return z
+}
+
+// TrainLinear fits least squares via the normal equations with a small
+// ridge term for numerical stability, solved by Gaussian elimination.
+func TrainLinear(examples []Example) (*LinearModel, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("ml: no training examples")
+	}
+	names := featureNames(examples)
+	d := len(names) + 1 // +1 for bias
+	// Normal equations: (XᵀX + λI) w = Xᵀy.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	row := make([]float64, d)
+	for _, ex := range examples {
+		row[0] = 1
+		for i, n := range names {
+			row[i+1] = ex.Features[n]
+		}
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][d] += row[i] * ex.Target
+		}
+	}
+	const ridge = 1e-9
+	for i := 0; i < d; i++ {
+		a[i][i] += ridge
+	}
+	w, err := solveGauss(a)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearModel{Names: names, Bias: w[0], Weights: w[1:]}, nil
+}
+
+// solveGauss solves the augmented system a (d rows of d+1 columns) by
+// Gaussian elimination with partial pivoting. It mutates a.
+func solveGauss(a [][]float64) ([]float64, error) {
+	d := len(a)
+	for col := 0; col < d; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[best][col]) {
+				best = r
+			}
+		}
+		a[col], a[best] = a[best], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular system")
+		}
+		pivot := a[col][col]
+		for j := col; j <= d; j++ {
+			a[col][j] /= pivot
+		}
+		for r := 0; r < d; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= d; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	out := make([]float64, d)
+	for i := 0; i < d; i++ {
+		out[i] = a[i][d]
+	}
+	return out, nil
+}
+
+// Registry stores trained models under integer handles; the handle is the
+// value a predict rule derives into its head predicate ("the model object
+// is a handle to a representation of the model", paper §2.3.2).
+type Registry struct {
+	mu     sync.Mutex
+	models map[int64]Model
+	next   int64
+}
+
+// NewRegistry returns an empty model registry.
+func NewRegistry() *Registry {
+	return &Registry{models: map[int64]Model{}, next: 1}
+}
+
+// Put stores a model and returns its handle.
+func (r *Registry) Put(m Model) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.next
+	r.next++
+	r.models[id] = m
+	return id
+}
+
+// Get returns the model for a handle.
+func (r *Registry) Get(id int64) (Model, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[id]
+	return m, ok
+}
+
+// Len returns the number of stored models.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models)
+}

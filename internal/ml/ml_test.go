@@ -1,0 +1,159 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogisticSeparable(t *testing.T) {
+	// y = 1 iff x > 0: perfectly separable on one feature.
+	var examples []Example
+	for i := -10; i <= 10; i++ {
+		if i == 0 {
+			continue
+		}
+		y := 0.0
+		if i > 0 {
+			y = 1
+		}
+		examples = append(examples, Example{Features: map[string]float64{"x": float64(i)}, Target: y})
+	}
+	m, err := TrainLogistic(examples, LogisticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict(map[string]float64{"x": 5}); p < 0.9 {
+		t.Errorf("P(y|x=5) = %v, want > 0.9", p)
+	}
+	if p := m.Predict(map[string]float64{"x": -5}); p > 0.1 {
+		t.Errorf("P(y|x=-5) = %v, want < 0.1", p)
+	}
+	if m.Kind() != "logist" {
+		t.Errorf("kind = %s", m.Kind())
+	}
+}
+
+func TestLogisticMultiFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var examples []Example
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		y := 0.0
+		if 2*a-3*b > 0 {
+			y = 1
+		}
+		examples = append(examples, Example{Features: map[string]float64{"a": a, "b": b}, Target: y})
+	}
+	m, err := TrainLogistic(examples, LogisticOptions{Epochs: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, ex := range examples {
+		p := m.Predict(ex.Features)
+		if (p > 0.5) == (ex.Target > 0.5) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(examples)); acc < 0.9 {
+		t.Errorf("training accuracy %.2f < 0.9", acc)
+	}
+}
+
+func TestLogisticNoExamples(t *testing.T) {
+	if _, err := TrainLogistic(nil, LogisticOptions{}); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+}
+
+func TestLinearExactFit(t *testing.T) {
+	// y = 3x + 2z - 1 exactly.
+	var examples []Example
+	for x := 0.0; x < 5; x++ {
+		for z := 0.0; z < 5; z++ {
+			examples = append(examples, Example{
+				Features: map[string]float64{"x": x, "z": z},
+				Target:   3*x + 2*z - 1,
+			})
+		}
+	}
+	m, err := TrainLinear(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Bias+1) > 1e-6 {
+		t.Errorf("bias = %v, want -1", m.Bias)
+	}
+	pred := m.Predict(map[string]float64{"x": 10, "z": -2})
+	want := 3.0*10 + 2*(-2) - 1
+	if math.Abs(pred-want) > 1e-6 {
+		t.Errorf("predict = %v, want %v", pred, want)
+	}
+	if m.Kind() != "linear" {
+		t.Errorf("kind = %s", m.Kind())
+	}
+}
+
+func TestLinearNoisyFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var examples []Example
+	for i := 0; i < 300; i++ {
+		x := rng.Float64() * 10
+		examples = append(examples, Example{
+			Features: map[string]float64{"x": x},
+			Target:   2*x + 5 + rng.NormFloat64()*0.1,
+		})
+	}
+	m, err := TrainLinear(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 0.1 || math.Abs(m.Bias-5) > 0.2 {
+		t.Errorf("fit w=%v b=%v, want ≈2, ≈5", m.Weights[0], m.Bias)
+	}
+}
+
+func TestLinearMissingFeaturesTreatedAsZero(t *testing.T) {
+	examples := []Example{
+		{Features: map[string]float64{"a": 1}, Target: 2},
+		{Features: map[string]float64{"b": 1}, Target: 3},
+		{Features: map[string]float64{}, Target: 0},
+	}
+	m, err := TrainLinear(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict(map[string]float64{"a": 1}); math.Abs(p-2) > 1e-3 {
+		t.Errorf("predict(a) = %v", p)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	m1 := &LinearModel{}
+	m2 := &LogisticModel{}
+	id1, id2 := r.Put(m1), r.Put(m2)
+	if id1 == id2 {
+		t.Fatal("duplicate handles")
+	}
+	if got, ok := r.Get(id1); !ok || got != Model(m1) {
+		t.Fatal("lost model 1")
+	}
+	if got, ok := r.Get(id2); !ok || got != Model(m2) {
+		t.Fatal("lost model 2")
+	}
+	if _, ok := r.Get(999); ok {
+		t.Fatal("phantom model")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a := [][]float64{{1, 1, 1}, {1, 1, 2}} // x + y = 1 and x + y = 2: singular
+	if _, err := solveGauss(a); err == nil {
+		t.Fatal("expected singular-system error")
+	}
+}

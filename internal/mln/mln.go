@@ -1,0 +1,251 @@
+// Package mln implements the statistical-relational extension the paper
+// sketches in §2.3.3: soft (weighted) constraints in the style of Markov
+// Logic Networks, with MAP inference formulated as a mathematical
+// optimization problem and solved with the prescriptive-analytics
+// machinery (an integer program over grounded constraint satisfactions).
+//
+// A soft constraint  w : Body -> Head  contributes weight w for every
+// grounding of Body whose Head literal is satisfied. Query atoms are 0/1
+// decision variables; MAP inference finds the truth assignment maximizing
+// the total weight of satisfied groundings.
+package mln
+
+import (
+	"fmt"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/engine"
+	"logicblox/internal/parser"
+	"logicblox/internal/relation"
+	"logicblox/internal/solver"
+	"logicblox/internal/tuple"
+)
+
+// SoftConstraint is a weighted rule: for each binding of the body over
+// the evidence, the head atom (possibly negated) should hold; violations
+// forgo Weight instead of aborting a transaction.
+type SoftConstraint struct {
+	Weight float64
+	// Source is LogiQL syntax "body -> head." where head is a single
+	// (possibly negated) atom over the query predicate.
+	Source string
+}
+
+// Program is an MLN-style model: evidence relations, soft constraints,
+// and the query predicates whose groundings are inferred.
+type Program struct {
+	QueryPreds []string
+	Evidence   map[string]relation.Relation
+	Soft       []SoftConstraint
+	// Observed fixes some query-atom truth values (conditioning).
+	Observed map[string]map[string]bool // pred → tuple.String() → truth
+}
+
+// MAPResult is the most probable world.
+type MAPResult struct {
+	// True holds, per query predicate, the tuples inferred true.
+	True map[string]relation.Relation
+	// Weight is the total satisfied weight.
+	Weight float64
+}
+
+// grounding of one soft constraint: the query atom's tuple and sign.
+type groundLit struct {
+	pred    string
+	t       tuple.Tuple
+	negated bool
+	weight  float64
+}
+
+// Infer computes the MAP world by grounding every soft constraint over
+// the evidence and solving the resulting integer program.
+func Infer(p *Program) (*MAPResult, error) {
+	queries := map[string]bool{}
+	for _, q := range p.QueryPreds {
+		queries[q] = true
+	}
+	var lits []groundLit
+	for _, sc := range p.Soft {
+		ls, err := groundSoft(sc, p, queries)
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, ls...)
+	}
+
+	// Decision variables: one 0/1 var per distinct query atom, plus one
+	// auxiliary satisfaction var per grounding.
+	varIdx := map[string]int{}
+	varTuple := map[int]struct {
+		pred string
+		t    tuple.Tuple
+	}{}
+	atomVar := func(pred string, t tuple.Tuple) int {
+		key := pred + "\x00" + t.String()
+		if i, ok := varIdx[key]; ok {
+			return i
+		}
+		i := len(varIdx)
+		varIdx[key] = i
+		varTuple[i] = struct {
+			pred string
+			t    tuple.Tuple
+		}{pred, t.Clone()}
+		return i
+	}
+	for _, l := range lits {
+		atomVar(l.pred, l.t)
+	}
+	numAtoms := len(varIdx)
+	prob := &solver.Problem{}
+	numVars := numAtoms + len(lits)
+	prob.NumVars = numVars
+	prob.Objective = make([]float64, numVars)
+	prob.Integer = make([]bool, numVars)
+	for i := range prob.Integer {
+		prob.Integer[i] = true
+	}
+	// All variables in [0,1].
+	for i := 0; i < numVars; i++ {
+		prob.Constraints = append(prob.Constraints, solver.LinConstraint{
+			Coeffs: map[int]float64{i: 1}, Op: solver.LE, RHS: 1,
+		})
+	}
+	// Satisfaction linking: for grounding g with positive head atom a,
+	// sat_g ≤ a; for negated head, sat_g ≤ 1 − a. Negative weights invert
+	// the relation (sat_g ≥ …) — handled by maximizing, which pushes
+	// sat_g up only for positive weights; for negative weights the
+	// objective pushes sat down, so we need the lower bound instead.
+	for gi, l := range lits {
+		sat := numAtoms + gi
+		a := atomVar(l.pred, l.t)
+		prob.Objective[sat] = l.weight
+		sign := 1.0
+		rhs := 0.0
+		if l.negated {
+			sign = -1.0
+			rhs = 1.0
+		}
+		if l.weight >= 0 {
+			// sat ≤ sign·a + rhs
+			prob.Constraints = append(prob.Constraints, solver.LinConstraint{
+				Coeffs: map[int]float64{sat: 1, a: -sign}, Op: solver.LE, RHS: rhs,
+			})
+		} else {
+			// sat ≥ sign·a + rhs
+			prob.Constraints = append(prob.Constraints, solver.LinConstraint{
+				Coeffs: map[int]float64{sat: 1, a: -sign}, Op: solver.GE, RHS: rhs,
+			})
+		}
+	}
+	// Observations fix atom variables.
+	for pred, obs := range p.Observed {
+		for ts, truth := range obs {
+			key := pred + "\x00" + ts
+			i, ok := varIdx[key]
+			if !ok {
+				continue
+			}
+			rhs := 0.0
+			if truth {
+				rhs = 1
+			}
+			prob.Constraints = append(prob.Constraints, solver.LinConstraint{
+				Coeffs: map[int]float64{i: 1}, Op: solver.EQ, RHS: rhs,
+			})
+		}
+	}
+
+	sol, err := solver.SolveMIP(prob)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != solver.Optimal {
+		return nil, fmt.Errorf("mln: MAP inference %s", sol.Status)
+	}
+	out := &MAPResult{True: map[string]relation.Relation{}, Weight: sol.Objective}
+	for _, q := range p.QueryPreds {
+		// Arity from any grounded atom.
+		arity := 1
+		for i := 0; i < numAtoms; i++ {
+			if varTuple[i].pred == q {
+				arity = len(varTuple[i].t)
+				break
+			}
+		}
+		out.True[q] = relation.New(arity)
+	}
+	for i := 0; i < numAtoms; i++ {
+		if sol.X[i] > 0.5 {
+			vt := varTuple[i]
+			if rel, ok := out.True[vt.pred]; ok {
+				out.True[vt.pred] = rel.Insert(vt.t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// groundSoft enumerates a soft constraint's body over the evidence and
+// emits one ground literal per binding.
+func groundSoft(sc SoftConstraint, p *Program, queries map[string]bool) ([]groundLit, error) {
+	prog, err := parser.Parse(sc.Source)
+	if err != nil {
+		return nil, fmt.Errorf("mln: constraint %q: %w", sc.Source, err)
+	}
+	ks := prog.Constraints()
+	if len(ks) != 1 {
+		return nil, fmt.Errorf("mln: constraint %q must be a single F -> G clause", sc.Source)
+	}
+	k := ks[0]
+	if len(k.Head) != 1 || k.Head[0].Atom == nil {
+		return nil, fmt.Errorf("mln: constraint %q head must be one atom", sc.Source)
+	}
+	head := k.Head[0]
+	if !queries[head.Atom.Pred] {
+		return nil, fmt.Errorf("mln: head predicate %s is not a query predicate", head.Atom.Pred)
+	}
+	// Bodies may reference query predicates only positively as evidence-
+	// independent structure; to keep grounding tractable we require
+	// bodies over evidence predicates (possibly including query preds as
+	// evidence if observed — not supported here).
+	compiled, err := compiler.Compile(prog)
+	if err != nil {
+		return nil, fmt.Errorf("mln: constraint %q: %w", sc.Source, err)
+	}
+	if len(compiled.Constraints) != 1 {
+		return nil, fmt.Errorf("mln: constraint %q compiled unexpectedly", sc.Source)
+	}
+	plan := compiled.Constraints[0]
+	if len(plan.HeadAtoms)+len(plan.HeadNegAtoms) != 1 {
+		return nil, fmt.Errorf("mln: constraint %q head must ground to one atom", sc.Source)
+	}
+	ctx := engine.NewContext(compiled, p.Evidence, engine.Options{})
+	var lits []groundLit
+	var groundErr error
+	err = ctx.EnumerateBindings(plan.Body, nil, func(binding tuple.Tuple) bool {
+		var pred string
+		var args []compiler.Expr
+		negated := head.Negated
+		if len(plan.HeadAtoms) == 1 {
+			pred, args = plan.HeadAtoms[0].Name, plan.HeadAtoms[0].Args
+		} else {
+			pred, args = plan.HeadNegAtoms[0].Name, plan.HeadNegAtoms[0].Args
+		}
+		t := make(tuple.Tuple, len(args))
+		for i, a := range args {
+			v, err := a.Eval(binding, nil)
+			if err != nil {
+				groundErr = err
+				return false
+			}
+			t[i] = v
+		}
+		lits = append(lits, groundLit{pred: pred, t: t, negated: negated, weight: sc.Weight})
+		return true
+	})
+	if err == nil {
+		err = groundErr
+	}
+	return lits, err
+}

@@ -1,0 +1,130 @@
+package mln
+
+import (
+	"testing"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// TestPaperPurchaseExample models the paper's §2.3.3 soft constraints:
+// promotions encourage purchases, similar promoted products discourage
+// them, and friends influence each other.
+func TestPaperPurchaseExample(t *testing.T) {
+	evidence := map[string]relation.Relation{
+		"Customer": relation.FromTuples(1, []tuple.Tuple{tuple.Strings("alice"), tuple.Strings("bob")}),
+		"Promoted": relation.FromTuples(1, []tuple.Tuple{tuple.Strings("soda")}),
+		"Friends":  relation.FromTuples(2, []tuple.Tuple{tuple.Strings("alice", "bob")}),
+		"Similar":  relation.FromTuples(2, []tuple.Tuple{tuple.Strings("cola", "soda")}),
+	}
+	p := &Program{
+		QueryPreds: []string{"Purchase"},
+		Evidence:   evidence,
+		Soft: []SoftConstraint{
+			// w1: promoted products get purchased.
+			{Weight: 2.0, Source: `Customer(c), Promoted(p) -> Purchase(c, p).`},
+			// w2: a product similar to a promoted one is not purchased.
+			{Weight: 1.0, Source: `Customer(c), Promoted(q), Similar(p, q) -> !Purchase(c, p).`},
+		},
+	}
+	res, err := Infer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	purchases := res.True["Purchase"]
+	if !purchases.Contains(tuple.Strings("alice", "soda")) || !purchases.Contains(tuple.Strings("bob", "soda")) {
+		t.Fatalf("promoted purchases missing: %v", purchases.Slice())
+	}
+	if purchases.Contains(tuple.Strings("alice", "cola")) {
+		t.Fatalf("similar-product purchase should be suppressed: %v", purchases.Slice())
+	}
+	// Both w1 groundings satisfied (2×2.0) plus both w2 groundings (2×1.0).
+	if res.Weight < 5.9 {
+		t.Fatalf("weight = %v, want 6", res.Weight)
+	}
+}
+
+func TestConflictingConstraintsFollowWeight(t *testing.T) {
+	evidence := map[string]relation.Relation{
+		"Item": relation.FromTuples(1, []tuple.Tuple{tuple.Strings("x")}),
+	}
+	p := &Program{
+		QueryPreds: []string{"Keep"},
+		Evidence:   evidence,
+		Soft: []SoftConstraint{
+			{Weight: 3.0, Source: `Item(i) -> Keep(i).`},
+			{Weight: 1.0, Source: `Item(i) -> !Keep(i).`},
+		},
+	}
+	res, err := Infer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.True["Keep"].Contains(tuple.Strings("x")) {
+		t.Fatalf("heavier constraint should win: %v", res.True["Keep"].Slice())
+	}
+	// Flip the weights: Keep(x) should be false.
+	p.Soft[0].Weight, p.Soft[1].Weight = 1.0, 3.0
+	res, err = Infer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.True["Keep"].Contains(tuple.Strings("x")) {
+		t.Fatalf("heavier negative constraint should win")
+	}
+}
+
+func TestObservationsCondition(t *testing.T) {
+	// Friends propagate purchases; observing bob's purchase pulls alice's.
+	evidence := map[string]relation.Relation{
+		"Friends": relation.FromTuples(2, []tuple.Tuple{tuple.Strings("bob", "alice")}),
+		"Bought":  relation.FromTuples(2, []tuple.Tuple{tuple.Strings("bob", "soda")}),
+	}
+	p := &Program{
+		QueryPreds: []string{"Purchase"},
+		Evidence:   evidence,
+		Soft: []SoftConstraint{
+			// Observed purchases are purchases.
+			{Weight: 10.0, Source: `Bought(c, p) -> Purchase(c, p).`},
+			// w3: friends buy what their friends buy.
+			{Weight: 1.0, Source: `Bought(d, p), Friends(d, c) -> Purchase(c, p).`},
+		},
+		Observed: map[string]map[string]bool{},
+	}
+	res, err := Infer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	purchases := res.True["Purchase"]
+	if !purchases.Contains(tuple.Strings("bob", "soda")) || !purchases.Contains(tuple.Strings("alice", "soda")) {
+		t.Fatalf("purchases = %v", purchases.Slice())
+	}
+
+	// Now force alice's purchase to false by observation: the w3 grounding
+	// is sacrificed.
+	p.Observed = map[string]map[string]bool{
+		"Purchase": {tuple.Strings("alice", "soda").String(): false},
+	}
+	res, err = Infer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.True["Purchase"].Contains(tuple.Strings("alice", "soda")) {
+		t.Fatalf("observation ignored")
+	}
+}
+
+func TestBadConstraintRejected(t *testing.T) {
+	p := &Program{
+		QueryPreds: []string{"Q"},
+		Evidence:   map[string]relation.Relation{},
+		Soft:       []SoftConstraint{{Weight: 1, Source: `A(x) -> NotQuery(x).`}},
+	}
+	if _, err := Infer(p); err == nil {
+		t.Fatal("head over non-query predicate should be rejected")
+	}
+	p.Soft = []SoftConstraint{{Weight: 1, Source: `garbage(((`}}
+	if _, err := Infer(p); err == nil {
+		t.Fatal("unparsable constraint should be rejected")
+	}
+}

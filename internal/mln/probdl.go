@@ -1,0 +1,229 @@
+package mln
+
+import (
+	"fmt"
+	"math"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/solver"
+	"logicblox/internal/tuple"
+)
+
+// Probabilistic-programming Datalog (paper §2.3.3, following Bárány, ten
+// Cate, Kimelfeld, Olteanu & Vagena 2014): rules may draw conclusions
+// from numerical probability distributions — Flip[r] is a Bernoulli coin
+// — and observations condition the induced probability space. This file
+// implements the paper's worked example structure: boolean unknowns with
+// Bernoulli priors (Promotion[p] = Flip[0.01]), boolean children whose
+// rate is a function of a parent unknown (Buys[c,p] = Flip[r] ←
+// BuyRate[p,b] = r, Promotion[p] = b), and MAP inference over the joint
+// space conditioned on observations — compiled to an integer program and
+// solved with the prescriptive-analytics machinery.
+
+// BernoulliPrior declares a boolean unknown predicate with an independent
+// Bernoulli(P) prior per key (Promotion[p] = Flip[P]).
+type BernoulliPrior struct {
+	Pred string
+	Keys relation.Relation // the key domain
+	P    float64
+}
+
+// Conditional declares a boolean predicate whose Bernoulli rate depends
+// on one parent unknown (Buys[c,p] = Flip[r] with r = Rate(key, parent)).
+type Conditional struct {
+	Pred       string
+	Keys       relation.Relation // child key domain
+	ParentPred string
+	// ParentOf projects a child key to its parent's key
+	// (e.g. (c, p) ↦ (p)).
+	ParentOf func(child tuple.Tuple) tuple.Tuple
+	// Rate gives P(child = 1 | parent value).
+	Rate func(child tuple.Tuple, parent bool) float64
+}
+
+// ProbProgram is a probabilistic Datalog program: priors, conditionals,
+// and observations (the conditioning of §2.3.3: Visited(c), Bought[c,p]=b
+// → Buys[c,p]=b).
+type ProbProgram struct {
+	Priors       []BernoulliPrior
+	Conditionals []Conditional
+	// Observed fixes child (or prior) atoms: pred → key.String() → value.
+	Observed map[string]map[string]bool
+}
+
+// MAPWorld is the most likely joint assignment.
+type MAPWorld struct {
+	// True holds, per predicate, the keys assigned true.
+	True map[string]relation.Relation
+	// LogLikelihood of the MAP world (up to the constant terms included).
+	LogLikelihood float64
+}
+
+const probEps = 1e-9
+
+func clampProb(p float64) float64 {
+	if p < probEps {
+		return probEps
+	}
+	if p > 1-probEps {
+		return 1 - probEps
+	}
+	return p
+}
+
+// MAPInfer computes the maximum-a-posteriori world of the program by
+// grounding it into an integer program: one 0/1 variable per prior and
+// child atom, a product variable per (parent, child) pair linearized with
+// the standard AND constraints, and the log-likelihood as the objective.
+func MAPInfer(p *ProbProgram) (*MAPWorld, error) {
+	varIdx := map[string]int{}
+	varKey := map[int]struct {
+		pred string
+		key  tuple.Tuple
+	}{}
+	nextVar := func(pred string, key tuple.Tuple) int {
+		id := pred + "\x00" + key.String()
+		if i, ok := varIdx[id]; ok {
+			return i
+		}
+		i := len(varIdx)
+		varIdx[id] = i
+		varKey[i] = struct {
+			pred string
+			key  tuple.Tuple
+		}{pred, key.Clone()}
+		return i
+	}
+
+	var objective []float64
+	objConst := 0.0
+	ensure := func(i int) {
+		for len(objective) <= i {
+			objective = append(objective, 0)
+		}
+	}
+	var cons []solver.LinConstraint
+	bound01 := func(i int) {
+		cons = append(cons, solver.LinConstraint{Coeffs: map[int]float64{i: 1}, Op: solver.LE, RHS: 1})
+	}
+
+	// Priors: x·log π + (1−x)·log(1−π).
+	for _, pr := range p.Priors {
+		pi := clampProb(pr.P)
+		wx := math.Log(pi) - math.Log(1-pi)
+		pr.Keys.ForEach(func(k tuple.Tuple) bool {
+			x := nextVar(pr.Pred, k)
+			ensure(x)
+			bound01(x)
+			objective[x] += wx
+			objConst += math.Log(1 - pi)
+			return true
+		})
+	}
+
+	// Conditionals: linearize y's likelihood through z = x ∧ y.
+	auxStart := 0
+	type auxVar struct{ x, y int }
+	var auxes []auxVar
+	for _, c := range p.Conditionals {
+		var err error
+		c.Keys.ForEach(func(k tuple.Tuple) bool {
+			parentKey := c.ParentOf(k)
+			xID := c.ParentPred + "\x00" + parentKey.String()
+			x, ok := varIdx[xID]
+			if !ok {
+				err = fmt.Errorf("mln: conditional %s key %s references undeclared parent %s%s",
+					c.Pred, k, c.ParentPred, parentKey)
+				return false
+			}
+			y := nextVar(c.Pred, k)
+			ensure(y)
+			bound01(y)
+			r1 := clampProb(c.Rate(k, true))
+			r0 := clampProb(c.Rate(k, false))
+			// LL = z·log r1 + (y−z)·log r0 + (x−z)·log(1−r1)
+			//      + (1−x−y+z)·log(1−r0), with z = x·y.
+			auxes = append(auxes, auxVar{x: x, y: y})
+			objective[y] += math.Log(r0) - math.Log(1-r0)
+			ensure(x)
+			objective[x] += math.Log(1-r1) - math.Log(1-r0)
+			objConst += math.Log(1 - r0)
+			// z's coefficient is attached below once z has an index.
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	auxStart = len(varIdx)
+	// Assign aux z variables after all atoms, re-walking the conditionals
+	// in the same order to recover the rates.
+	zi := auxStart
+	ai := 0
+	for _, c := range p.Conditionals {
+		c.Keys.ForEach(func(k tuple.Tuple) bool {
+			a := auxes[ai]
+			ai++
+			r1 := clampProb(c.Rate(k, true))
+			r0 := clampProb(c.Rate(k, false))
+			ensure(zi)
+			bound01(zi)
+			objective[zi] += math.Log(r1) - math.Log(r0) - math.Log(1-r1) + math.Log(1-r0)
+			// z = x ∧ y: z ≤ x, z ≤ y, z ≥ x + y − 1.
+			cons = append(cons,
+				solver.LinConstraint{Coeffs: map[int]float64{zi: 1, a.x: -1}, Op: solver.LE, RHS: 0},
+				solver.LinConstraint{Coeffs: map[int]float64{zi: 1, a.y: -1}, Op: solver.LE, RHS: 0},
+				solver.LinConstraint{Coeffs: map[int]float64{zi: 1, a.x: -1, a.y: -1}, Op: solver.GE, RHS: -1},
+			)
+			zi++
+			return true
+		})
+	}
+
+	// Observations pin atom variables.
+	for pred, obs := range p.Observed {
+		for ks, truth := range obs {
+			id := pred + "\x00" + ks
+			i, ok := varIdx[id]
+			if !ok {
+				continue
+			}
+			rhs := 0.0
+			if truth {
+				rhs = 1
+			}
+			cons = append(cons, solver.LinConstraint{Coeffs: map[int]float64{i: 1}, Op: solver.EQ, RHS: rhs})
+		}
+	}
+
+	numVars := zi
+	prob := &solver.Problem{
+		NumVars:     numVars,
+		Objective:   objective,
+		Constraints: cons,
+		Integer:     make([]bool, numVars),
+	}
+	for i := range prob.Integer {
+		prob.Integer[i] = true
+	}
+	sol, err := solver.SolveMIP(prob)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != solver.Optimal {
+		return nil, fmt.Errorf("mln: MAP inference %s", sol.Status)
+	}
+	out := &MAPWorld{True: map[string]relation.Relation{}, LogLikelihood: sol.Objective + objConst}
+	arities := map[string]int{}
+	for i := 0; i < auxStart; i++ {
+		vk := varKey[i]
+		if _, ok := arities[vk.pred]; !ok {
+			arities[vk.pred] = len(vk.key)
+			out.True[vk.pred] = relation.New(len(vk.key))
+		}
+		if sol.X[i] > 0.5 {
+			out.True[vk.pred] = out.True[vk.pred].Insert(vk.key)
+		}
+	}
+	return out, nil
+}

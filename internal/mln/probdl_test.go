@@ -1,0 +1,153 @@
+package mln
+
+import (
+	"fmt"
+	"testing"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// paperProbProgram builds the §2.3.3 example: Promotion[p] = Flip[0.01];
+// Buys[c,p] = Flip[r] with r = BuyRate[p, promotion?]; observations over
+// Buys condition the space.
+func paperProbProgram(products, customers []string, rateOn, rateOff float64) *ProbProgram {
+	prodRel := relation.New(1)
+	for _, p := range products {
+		prodRel = prodRel.Insert(tuple.Strings(p))
+	}
+	buysKeys := relation.New(2)
+	for _, c := range customers {
+		for _, p := range products {
+			buysKeys = buysKeys.Insert(tuple.Strings(c, p))
+		}
+	}
+	return &ProbProgram{
+		Priors: []BernoulliPrior{{Pred: "Promotion", Keys: prodRel, P: 0.01}},
+		Conditionals: []Conditional{{
+			Pred:       "Buys",
+			Keys:       buysKeys,
+			ParentPred: "Promotion",
+			ParentOf:   func(k tuple.Tuple) tuple.Tuple { return k[1:2] },
+			Rate: func(_ tuple.Tuple, promoted bool) float64 {
+				if promoted {
+					return rateOn
+				}
+				return rateOff
+			},
+		}},
+		Observed: map[string]map[string]bool{"Buys": {}},
+	}
+}
+
+func TestMAPDetectsPromotionFromSales(t *testing.T) {
+	products := []string{"cola", "chips"}
+	var customers []string
+	for i := 0; i < 12; i++ {
+		customers = append(customers, fmt.Sprintf("c%02d", i))
+	}
+	prog := paperProbProgram(products, customers, 0.8, 0.1)
+	// Observation: everyone bought cola, nobody bought chips.
+	for _, c := range customers {
+		prog.Observed["Buys"][tuple.Strings(c, "cola").String()] = true
+		prog.Observed["Buys"][tuple.Strings(c, "chips").String()] = false
+	}
+	world, err := MAPInfer(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promo := world.True["Promotion"]
+	if !promo.Contains(tuple.Strings("cola")) {
+		t.Fatalf("cola's sales spike should imply a promotion: %v", promo.Slice())
+	}
+	if promo.Contains(tuple.Strings("chips")) {
+		t.Fatalf("chips should not be inferred promoted: %v", promo.Slice())
+	}
+}
+
+func TestMAPPriorWinsWithoutEvidence(t *testing.T) {
+	// With no observations and a 1% prior, the MAP world has no
+	// promotions, and child atoms follow the off-rate (10% → all false).
+	prog := paperProbProgram([]string{"cola"}, []string{"a", "b"}, 0.8, 0.1)
+	world, err := MAPInfer(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.True["Promotion"].Len() != 0 {
+		t.Fatalf("prior should keep promotions off: %v", world.True["Promotion"].Slice())
+	}
+	if world.True["Buys"].Len() != 0 {
+		t.Fatalf("off-rate 0.1 should keep buys false: %v", world.True["Buys"].Slice())
+	}
+}
+
+func TestMAPHighPriorFlipsDefault(t *testing.T) {
+	prodRel := relation.New(1).Insert(tuple.Strings("x"))
+	prog := &ProbProgram{
+		Priors: []BernoulliPrior{{Pred: "P", Keys: prodRel, P: 0.95}},
+	}
+	world, err := MAPInfer(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !world.True["P"].Contains(tuple.Strings("x")) {
+		t.Fatalf("95%% prior should make the atom true")
+	}
+}
+
+func TestMAPObservationOverridesPrior(t *testing.T) {
+	prodRel := relation.New(1).Insert(tuple.Strings("x"))
+	prog := &ProbProgram{
+		Priors: []BernoulliPrior{{Pred: "P", Keys: prodRel, P: 0.95}},
+		Observed: map[string]map[string]bool{
+			"P": {tuple.Strings("x").String(): false},
+		},
+	}
+	world, err := MAPInfer(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.True["P"].Contains(tuple.Strings("x")) {
+		t.Fatalf("observation should pin the atom false")
+	}
+}
+
+func TestMAPUndeclaredParentRejected(t *testing.T) {
+	keys := relation.New(1).Insert(tuple.Strings("k"))
+	prog := &ProbProgram{
+		Conditionals: []Conditional{{
+			Pred:       "Y",
+			Keys:       keys,
+			ParentPred: "Missing",
+			ParentOf:   func(k tuple.Tuple) tuple.Tuple { return k },
+			Rate:       func(tuple.Tuple, bool) float64 { return 0.5 },
+		}},
+	}
+	if _, err := MAPInfer(prog); err == nil {
+		t.Fatal("undeclared parent accepted")
+	}
+}
+
+func TestMAPLikelihoodOrdering(t *testing.T) {
+	// The MAP world's log-likelihood must be at least that of the
+	// all-false world under the same observations.
+	products := []string{"cola"}
+	customers := []string{"a", "b", "c", "d"}
+	prog := paperProbProgram(products, customers, 0.9, 0.05)
+	for _, c := range customers {
+		prog.Observed["Buys"][tuple.Strings(c, "cola").String()] = true
+	}
+	world, err := MAPInfer(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed all-false-promotion alternative:
+	// LL = log(1−π) + 4·log(0.05)  vs  MAP (promotion on):
+	// LL = log(π) + 4·log(0.9).
+	if !world.True["Promotion"].Contains(tuple.Strings("cola")) {
+		t.Fatalf("four observed buys at rate ratio 18x should flip a 1%% prior")
+	}
+	if world.LogLikelihood >= 0 {
+		t.Fatalf("log-likelihood should be negative: %v", world.LogLikelihood)
+	}
+}

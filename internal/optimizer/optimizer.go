@@ -1,0 +1,170 @@
+// Package optimizer implements the sampling-based query optimizer the
+// paper describes in §3.2 ("Optimization and parallelism"): when joins
+// are evaluated with leapfrog triejoin, optimization boils down to
+// choosing a good variable order. Small representative samples of the
+// input predicates are maintained; candidate orders are executed on the
+// samples, their iterator-operation counts compared, and the cheapest
+// order chosen — which also decides which secondary indices to create.
+package optimizer
+
+import (
+	"fmt"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/lftj"
+	"logicblox/internal/relation"
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+// Options tune the optimizer.
+type Options struct {
+	// SampleSize bounds each predicate sample (default 512 tuples).
+	SampleSize int
+	// MaxCandidates bounds how many orders are tried (default 24).
+	MaxCandidates int
+}
+
+// Result reports the optimizer's decision.
+type Result struct {
+	Plan      *compiler.RulePlan
+	Order     []int // join slots of the original plan, in chosen order
+	Cost      int   // iterator operations on the samples
+	Evaluated int   // candidate orders tried
+}
+
+// ChooseOrder evaluates candidate variable orders for the rule over
+// samples of its input relations and returns the cheapest plan. rels
+// resolves a (decorated) predicate name to its current contents.
+func ChooseOrder(rule *compiler.RulePlan, rels func(name string) relation.Relation, opts Options) (*Result, error) {
+	if opts.SampleSize == 0 {
+		opts.SampleSize = 512
+	}
+	if opts.MaxCandidates == 0 {
+		opts.MaxCandidates = 24
+	}
+	n := rule.NumJoinVars
+	if n <= 1 || len(rule.Atoms) == 0 {
+		return &Result{Plan: rule, Order: identity(n), Evaluated: 0}, nil
+	}
+
+	// Samples, one per distinct predicate occurrence name.
+	samples := map[string]relation.Relation{}
+	for _, a := range rule.Atoms {
+		if _, ok := samples[a.Name]; !ok {
+			samples[a.Name] = rels(a.Name).Sample(opts.SampleSize)
+		}
+	}
+
+	best := &Result{Cost: -1}
+	for _, order := range candidateOrders(n, opts.MaxCandidates) {
+		plan, err := compiler.ReorderRule(rule, order)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := sampleCost(plan, samples)
+		if err != nil {
+			return nil, err
+		}
+		best.Evaluated++
+		if best.Cost < 0 || cost < best.Cost {
+			best.Plan = plan
+			best.Order = order
+			best.Cost = cost
+		}
+	}
+	if best.Plan == nil {
+		return &Result{Plan: rule, Order: identity(n)}, nil
+	}
+	return best, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// candidateOrders enumerates all permutations for small n and a rotation
+// family for larger n, capped at max.
+func candidateOrders(n, max int) [][]int {
+	var out [][]int
+	if factorial(n) <= max {
+		permute(identity(n), 0, &out)
+		return out
+	}
+	// Rotations plus adjacent swaps of the identity: a cheap diverse set.
+	base := identity(n)
+	for r := 0; r < n && len(out) < max; r++ {
+		rot := make([]int, n)
+		for i := range rot {
+			rot[i] = base[(i+r)%n]
+		}
+		out = append(out, rot)
+	}
+	for i := 0; i+1 < n && len(out) < max; i++ {
+		sw := identity(n)
+		sw[i], sw[i+1] = sw[i+1], sw[i]
+		out = append(out, sw)
+	}
+	return out
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+		if f > 1<<20 {
+			return f
+		}
+	}
+	return f
+}
+
+func permute(cur []int, k int, out *[][]int) {
+	if k == len(cur) {
+		cp := make([]int, len(cur))
+		copy(cp, cur)
+		*out = append(*out, cp)
+		return
+	}
+	for i := k; i < len(cur); i++ {
+		cur[k], cur[i] = cur[i], cur[k]
+		permute(cur, k+1, out)
+		cur[k], cur[i] = cur[i], cur[k]
+	}
+}
+
+// sampleCost runs the plan's join over the samples, counting iterator
+// operations.
+func sampleCost(plan *compiler.RulePlan, samples map[string]relation.Relation) (int, error) {
+	counter := &trie.OpCounter{}
+	atoms := make([]lftj.Atom, 0, len(plan.Atoms)+len(plan.Consts))
+	for _, ap := range plan.Atoms {
+		rel, ok := samples[ap.Name]
+		if !ok {
+			return 0, fmt.Errorf("optimizer: no sample for %s", ap.Name)
+		}
+		if ap.Perm != nil {
+			rel = rel.Permuted(ap.Perm)
+		}
+		atoms = append(atoms, lftj.Atom{Pred: ap.Name, Iter: trie.Counting(rel.Iterator(), counter), Vars: ap.Vars})
+	}
+	for _, cb := range plan.Consts {
+		atoms = append(atoms, lftj.Atom{Pred: "$const", Iter: trie.NewConstIterator(cb.Val), Vars: []int{cb.Var}})
+	}
+	j, err := lftj.NewJoin(plan.NumJoinVars, atoms, nil)
+	if err != nil {
+		return 0, err
+	}
+	results := 0
+	j.Run(func(tuple.Tuple) bool {
+		results++
+		return true
+	})
+	// Cost = navigation work plus output size (ties broken toward fewer
+	// operations).
+	return counter.Ops + results, nil
+}

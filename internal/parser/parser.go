@@ -1,0 +1,620 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"logicblox/internal/ast"
+	"logicblox/internal/tuple"
+)
+
+// Parse parses a LogiQL block (a sequence of clauses, each terminated by
+// '.') into an AST program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for !p.at(tokEOF, "") {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		prog.Clauses = append(prog.Clauses, c)
+	}
+	return prog, nil
+}
+
+// ParseQuery parses the body of a query transaction: a program whose
+// single rule derives the designated answer predicate "_".
+func ParseQuery(src string) (*ast.Program, error) {
+	return Parse(src)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) tok() token { return p.toks[p.pos] }
+func (p *parser) look(i int) token {
+	if p.pos+i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+i]
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.tok()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atPunct(text string) bool { return p.at(tokPunct, text) }
+
+func (p *parser) advance() token {
+	t := p.tok()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{tokIdent: "identifier", tokInt: "integer",
+				tokFloat: "float", tokString: "string"}[kind]
+		}
+		return token{}, p.errorf("expected %s, found %s", want, p.tok())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.tok()
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// parseClause dispatches on the clause form: directive, rule, fact, or
+// constraint.
+func (p *parser) parseClause() (ast.Clause, error) {
+	if p.at(tokIdent, "lang") && p.look(1).kind == tokPunct && p.look(1).text == ":" {
+		return p.parseDirective()
+	}
+	lits, err := p.parseLiteralList()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atPunct("<-"):
+		p.advance()
+		heads, err := literalsToAtoms(lits)
+		if err != nil {
+			return nil, p.errorf("invalid rule head: %v", err)
+		}
+		return p.parseRuleTail(heads)
+	case p.atPunct("->"):
+		p.advance()
+		head, err := p.parseLiteralList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		return &ast.Constraint{Body: lits, Head: head}, nil
+	case p.atPunct("."):
+		p.advance()
+		heads, err := literalsToAtoms(lits)
+		if err != nil {
+			return nil, p.errorf("invalid fact: %v", err)
+		}
+		return &ast.Rule{Heads: heads}, nil
+	default:
+		return nil, p.errorf("expected '<-', '->' or '.', found %s", p.tok())
+	}
+}
+
+func literalsToAtoms(lits []*ast.Literal) ([]*ast.Atom, error) {
+	atoms := make([]*ast.Atom, len(lits))
+	for i, l := range lits {
+		if l.Atom == nil || l.Negated {
+			return nil, fmt.Errorf("%s is not a plain atom", l)
+		}
+		atoms[i] = l.Atom
+	}
+	return atoms, nil
+}
+
+// parseRuleTail parses everything after "<-": optional agg/predict spec
+// then the body literals and the terminating '.'.
+func (p *parser) parseRuleTail(heads []*ast.Atom) (*ast.Rule, error) {
+	r := &ast.Rule{Heads: heads}
+	if p.at(tokIdent, "agg") && p.look(1).text == "<<" {
+		agg, err := p.parseAggSpec()
+		if err != nil {
+			return nil, err
+		}
+		r.Agg = agg
+	} else if p.at(tokIdent, "predict") && p.look(1).text == "<<" {
+		pr, err := p.parsePredictSpec()
+		if err != nil {
+			return nil, err
+		}
+		r.Pred = pr
+	}
+	if p.atPunct(".") {
+		p.advance()
+		return r, nil
+	}
+	body, err := p.parseLiteralList()
+	if err != nil {
+		return nil, err
+	}
+	r.Body = body
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseAggSpec parses agg<<u = fn(z)>> (z optional for count).
+func (p *parser) parseAggSpec() (*ast.Aggregation, error) {
+	p.advance() // agg
+	p.advance() // <<
+	res, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	arg := ""
+	if p.at(tokIdent, "") {
+		arg = p.advance().text
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ">>"); err != nil {
+		return nil, err
+	}
+	return &ast.Aggregation{Result: res.text, Func: fn.text, Arg: arg}, nil
+}
+
+// parsePredictSpec parses predict<<m = fn(v|f)>>.
+func (p *parser) parsePredictSpec() (*ast.Predict, error) {
+	p.advance() // predict
+	p.advance() // <<
+	res, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	val, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "|"); err != nil {
+		return nil, err
+	}
+	feat, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ">>"); err != nil {
+		return nil, err
+	}
+	return &ast.Predict{Result: res.text, Func: fn.text, Value: val.text, Feature: feat.text}, nil
+}
+
+// parseDirective parses lang:a:b(`P, `Q).
+func (p *parser) parseDirective() (ast.Clause, error) {
+	d := &ast.Directive{}
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d.Path = append(d.Path, id.text)
+	for p.atPunct(":") {
+		p.advance()
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d.Path = append(d.Path, id.text)
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "`"); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d.Args = append(d.Args, id.text)
+		if !p.atPunct(",") {
+			break
+		}
+		p.advance()
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "."); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseLiteralList() ([]*ast.Literal, error) {
+	var lits []*ast.Literal
+	for {
+		l, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		lits = append(lits, l)
+		if !p.atPunct(",") {
+			return lits, nil
+		}
+		p.advance()
+	}
+}
+
+// parseLiteral parses a negated atom, an atom, or a comparison.
+func (p *parser) parseLiteral() (*ast.Literal, error) {
+	if p.atPunct("!") {
+		p.advance()
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Negated: true, Atom: a}, nil
+	}
+	if p.startsAtom() {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Atom: a}, nil
+	}
+	// Otherwise a comparison literal: term cmpOp term.
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.tok()
+	switch opTok.text {
+	case "=", "!=", "<", "<=", ">", ">=":
+		p.advance()
+	default:
+		return nil, p.errorf("expected comparison operator, found %s", opTok)
+	}
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Literal{Cmp: &ast.Comparison{Op: ast.CmpOp(opTok.text), L: l, R: r}}, nil
+}
+
+// startsAtom reports whether the upcoming tokens begin a predicate atom
+// rather than a comparison term. Functional applications Pred[..] are
+// terms unless the whole literal is Pred[..] = term, which parseLiteral
+// resolves via the functional-atom rule below: a leading Pred[..]
+// followed by '=' parses as an atom only at the literal level, so here we
+// treat '[' starts as atoms and let parseAtom hand back functional atoms;
+// comparisons over functional applications (Stock[p] >= min) are
+// recovered by parseAtom's caller via atomToComparison when the operator
+// is not '='.
+func (p *parser) startsAtom() bool {
+	i := 0
+	// Delta prefix.
+	if t := p.look(i); t.kind == tokPunct && (t.text == "+" || t.text == "-" || t.text == "^") {
+		i++
+	}
+	t := p.look(i)
+	if t.kind == tokPunct && t.text == "_" {
+		// The answer predicate "_(args)".
+		return p.look(i+1).text == "("
+	}
+	if t.kind != tokIdent {
+		return false
+	}
+	i++
+	if p.look(i).text == "@" {
+		// Skip the version suffix; atom-ness depends on what follows it,
+		// exactly as in the unversioned case.
+		i += 2
+	}
+	if p.look(i).text == "(" {
+		return true
+	}
+	if p.look(i).text == "[" {
+		// Could be a functional atom R[k]=v or a functional application in
+		// a comparison; scan to the matching ']' and inspect what follows.
+		depth := 0
+		for j := i; ; j++ {
+			tj := p.look(j)
+			if tj.kind == tokEOF {
+				return false
+			}
+			if tj.kind == tokPunct {
+				switch tj.text {
+				case "[":
+					depth++
+				case "]":
+					depth--
+					if depth == 0 {
+						nxt := p.look(j + 1)
+						if nxt.kind == tokPunct && nxt.text == "=" {
+							return true
+						}
+						if nxt.kind == tokPunct && nxt.text == "(" {
+							return true // width-annotated type atom float[64](v)
+						}
+						return false
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// parseAtom parses a predicate atom in relational or functional shape.
+func (p *parser) parseAtom() (*ast.Atom, error) {
+	a := &ast.Atom{}
+	if t := p.tok(); t.kind == tokPunct {
+		switch t.text {
+		case "+":
+			a.Delta = ast.DeltaPlus
+			p.advance()
+		case "-":
+			a.Delta = ast.DeltaMinus
+			p.advance()
+		case "^":
+			a.Delta = ast.DeltaHat
+			p.advance()
+		}
+	}
+	if p.atPunct("_") {
+		p.advance()
+		a.Pred = "_"
+	} else {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		a.Pred = id.text
+	}
+	if p.atPunct("@") {
+		p.advance()
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if id.text != "start" {
+			return nil, p.errorf("unknown predicate version @%s (only @start is supported)", id.text)
+		}
+		a.AtStart = true
+	}
+	switch {
+	case p.atPunct("("):
+		p.advance()
+		if !p.atPunct(")") {
+			args, err := p.parseTermList()
+			if err != nil {
+				return nil, err
+			}
+			a.Args = args
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	case p.atPunct("["):
+		p.advance()
+		if !p.atPunct("]") {
+			args, err := p.parseTermList()
+			if err != nil {
+				return nil, err
+			}
+			a.Args = args
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		// Width-annotated type atom, e.g. float[64](v): the bracket list is
+		// a width, the parenthesized list holds the real arguments.
+		if p.atPunct("(") {
+			p.advance()
+			args, err := p.parseTermList()
+			if err != nil {
+				return nil, err
+			}
+			a.Args = args
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return a, nil
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		a.Value = v
+	default:
+		return nil, p.errorf("expected '(' or '[' after predicate %s", a.Pred)
+	}
+	return a, nil
+}
+
+func (p *parser) parseTermList() ([]ast.Term, error) {
+	var ts []ast.Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+		if !p.atPunct(",") {
+			return ts, nil
+		}
+		p.advance()
+	}
+}
+
+// parseTerm parses an arithmetic expression with the usual precedence.
+func (p *parser) parseTerm() (ast.Term, error) {
+	return p.parseAdditive()
+}
+
+func (p *parser) parseAdditive() (ast.Term, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.advance().text[0]
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = ast.Arith{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (ast.Term, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") {
+		op := p.advance().text[0]
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = ast.Arith{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (ast.Term, error) {
+	t := p.tok()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %s", t.text)
+		}
+		return ast.Const{Val: tuple.Int(v)}, nil
+	case tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %s", t.text)
+		}
+		return ast.Const{Val: tuple.Float(v)}, nil
+	case tokString:
+		p.advance()
+		return ast.Const{Val: tuple.String(t.text)}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.advance()
+			return ast.Const{Val: tuple.Bool(true)}, nil
+		case "false":
+			p.advance()
+			return ast.Const{Val: tuple.Bool(false)}, nil
+		}
+		p.advance()
+		atStart := false
+		if p.atPunct("@") && p.look(1).kind == tokIdent && p.look(1).text == "start" {
+			p.advance()
+			p.advance()
+			atStart = true
+		}
+		if p.atPunct("[") {
+			p.advance()
+			var args []ast.Term
+			if !p.atPunct("]") {
+				var err error
+				args, err = p.parseTermList()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return ast.FuncApp{Pred: t.text, AtStart: atStart, Args: args}, nil
+		}
+		if atStart {
+			return nil, p.errorf("@start requires a functional application %s@start[...]", t.text)
+		}
+		return ast.Var{Name: t.text}, nil
+	case tokPunct:
+		switch t.text {
+		case "_":
+			p.advance()
+			return ast.Wildcard{}, nil
+		case "(":
+			p.advance()
+			inner, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case "-":
+			p.advance()
+			inner, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := inner.(ast.Const); ok {
+				switch c.Val.Kind() {
+				case tuple.KindInt:
+					return ast.Const{Val: tuple.Int(-c.Val.AsInt())}, nil
+				case tuple.KindFloat:
+					return ast.Const{Val: tuple.Float(-c.Val.AsFloat())}, nil
+				}
+			}
+			return ast.Arith{Op: '-', L: ast.Const{Val: tuple.Int(0)}, R: inner}, nil
+		}
+	}
+	return nil, p.errorf("expected a term, found %s", t)
+}

@@ -1,0 +1,128 @@
+// Package pmap provides persistent string-keyed maps and sets built on the
+// treap substrate. The workspace and meta-engine keep all of their
+// meta-data (predicate catalogs, rule sets, execution-graph nodes) in these
+// structures so that branching a workspace is an O(1) pointer copy and
+// diffing two versions is proportional to their divergence (paper §3.1).
+package pmap
+
+import (
+	"logicblox/internal/treap"
+)
+
+func stringOps() treap.Ops[string] {
+	return treap.Ops[string]{
+		Compare: func(a, b string) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		},
+		Hash: hashString,
+	}
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Map is a persistent map from string to V. The zero Map is not usable;
+// construct with NewMap.
+type Map[V any] struct {
+	t treap.Tree[string, V]
+}
+
+// NewMap returns an empty persistent map.
+func NewMap[V any]() Map[V] {
+	return Map[V]{t: treap.New[string, V](stringOps())}
+}
+
+// Get returns the value bound to key.
+func (m Map[V]) Get(key string) (V, bool) { return m.t.Get(key) }
+
+// Contains reports whether key is bound.
+func (m Map[V]) Contains(key string) bool { return m.t.Contains(key) }
+
+// Set returns a map with key bound to val.
+func (m Map[V]) Set(key string, val V) Map[V] { return Map[V]{t: m.t.Insert(key, val)} }
+
+// Delete returns a map without key.
+func (m Map[V]) Delete(key string) Map[V] { return Map[V]{t: m.t.Delete(key)} }
+
+// Len returns the number of bindings.
+func (m Map[V]) Len() int { return m.t.Len() }
+
+// Range calls fn for each binding in ascending key order until fn returns
+// false.
+func (m Map[V]) Range(fn func(key string, val V) bool) { m.t.Ascend(fn) }
+
+// Keys returns the keys in ascending order.
+func (m Map[V]) Keys() []string { return m.t.Keys() }
+
+// EqualKeys reports whether m and o bind exactly the same keys, pruning on
+// shared structure.
+func (m Map[V]) EqualKeys(o Map[V]) bool { return m.t.Equal(o.t) }
+
+// Diff reports the bindings that differ between m (old) and o (new).
+func (m Map[V]) Diff(o Map[V], valEq func(a, b V) bool,
+	onDel func(string, V), onIns func(string, V), onUpd func(string, V, V)) {
+	m.t.DiffWith(o.t, valEq, onDel, onIns, onUpd)
+}
+
+// Set is a persistent set of strings.
+type Set struct {
+	t treap.Tree[string, struct{}]
+}
+
+// NewSet returns an empty persistent set, optionally seeded with elems.
+func NewSet(elems ...string) Set {
+	s := Set{t: treap.New[string, struct{}](stringOps())}
+	for _, e := range elems {
+		s.t = s.t.Insert(e, struct{}{})
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s Set) Contains(key string) bool { return s.t.Contains(key) }
+
+// Add returns a set including key.
+func (s Set) Add(key string) Set { return Set{t: s.t.Insert(key, struct{}{})} }
+
+// Remove returns a set excluding key.
+func (s Set) Remove(key string) Set { return Set{t: s.t.Delete(key)} }
+
+// Len returns the cardinality.
+func (s Set) Len() int { return s.t.Len() }
+
+// Union returns the set union.
+func (s Set) Union(o Set) Set { return Set{t: s.t.Union(o.t)} }
+
+// Intersect returns the set intersection.
+func (s Set) Intersect(o Set) Set { return Set{t: s.t.Intersect(o.t)} }
+
+// Difference returns s minus o.
+func (s Set) Difference(o Set) Set { return Set{t: s.t.Difference(o.t)} }
+
+// Equal reports set equality (O(1) for shared structure).
+func (s Set) Equal(o Set) bool { return s.t.Equal(o.t) }
+
+// Elems returns the elements in ascending order.
+func (s Set) Elems() []string { return s.t.Keys() }
+
+// Range calls fn for each element in ascending order until fn returns false.
+func (s Set) Range(fn func(string) bool) {
+	s.t.Ascend(func(k string, _ struct{}) bool { return fn(k) })
+}

@@ -1,0 +1,190 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"logicblox/internal/trie"
+	"logicblox/internal/tuple"
+)
+
+func figure4Relation() Relation {
+	return FromTuples(3, []tuple.Tuple{
+		tuple.Ints(1, 3, 4), tuple.Ints(1, 3, 5), tuple.Ints(1, 4, 6),
+		tuple.Ints(1, 4, 8), tuple.Ints(1, 4, 9), tuple.Ints(1, 5, 2),
+		tuple.Ints(3, 5, 2),
+	})
+}
+
+func TestTrieIterCollect(t *testing.T) {
+	r := figure4Relation()
+	got := trie.Collect(r.Iterator())
+	want := r.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Collect %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("tuple %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTrieIterNavigation(t *testing.T) {
+	it := figure4Relation().Iterator()
+	it.Open()
+	if it.Key().AsInt() != 1 {
+		t.Fatalf("x = %v", it.Key())
+	}
+	it.Open()
+	if it.Key().AsInt() != 3 {
+		t.Fatalf("y = %v", it.Key())
+	}
+	it.Seek(tuple.Int(4))
+	if it.Key().AsInt() != 4 {
+		t.Fatalf("seek y=4 got %v", it.Key())
+	}
+	it.Open()
+	var zs []int64
+	for !it.AtEnd() {
+		zs = append(zs, it.Key().AsInt())
+		it.Next()
+	}
+	if len(zs) != 3 || zs[0] != 6 || zs[1] != 8 || zs[2] != 9 {
+		t.Fatalf("zs = %v", zs)
+	}
+	it.Up() // back to y=4
+	if it.Depth() != 1 {
+		t.Fatalf("depth = %d", it.Depth())
+	}
+	it.Next() // y=5
+	if it.Key().AsInt() != 5 {
+		t.Fatalf("y after up/next = %v", it.Key())
+	}
+	it.Next()
+	if !it.AtEnd() {
+		t.Fatalf("y level should be exhausted")
+	}
+	it.Up() // x=1
+	it.Next()
+	if it.Key().AsInt() != 3 {
+		t.Fatalf("x after exhausting x=1 = %v", it.Key())
+	}
+}
+
+func TestTrieIterReopenAfterUp(t *testing.T) {
+	// Open, descend fully, come back up and re-Open the same key (the
+	// "stale iterator" path).
+	it := figure4Relation().Iterator()
+	it.Open() // x=1
+	it.Open() // y=3
+	it.Open() // z=4
+	it.Next() // z=5
+	it.Next() // end of z level
+	if !it.AtEnd() {
+		t.Fatalf("expected z exhausted")
+	}
+	it.Up() // y=3
+	if it.Key().AsInt() != 3 {
+		t.Fatalf("y after up = %v", it.Key())
+	}
+	it.Open() // re-open z under (1,3): must restart at z=4
+	if it.Key().AsInt() != 4 {
+		t.Fatalf("re-open z = %v", it.Key())
+	}
+}
+
+func TestTrieIterSeekOnUnary(t *testing.T) {
+	r := FromTuples(1, []tuple.Tuple{
+		tuple.Ints(0), tuple.Ints(2), tuple.Ints(6), tuple.Ints(7), tuple.Ints(8), tuple.Ints(9),
+	})
+	it := r.Iterator()
+	it.Open()
+	it.Seek(tuple.Int(3))
+	if it.Key().AsInt() != 6 {
+		t.Fatalf("Seek(3) = %v", it.Key())
+	}
+	it.Seek(tuple.Int(6))
+	if it.Key().AsInt() != 6 {
+		t.Fatalf("Seek to current moved: %v", it.Key())
+	}
+	it.Seek(tuple.Int(10))
+	if !it.AtEnd() {
+		t.Fatalf("Seek past max should end")
+	}
+	it.Seek(tuple.Int(11)) // seek at end is a no-op
+	if !it.AtEnd() {
+		t.Fatalf("still at end")
+	}
+}
+
+func TestTrieIterEmptyRelation(t *testing.T) {
+	it := New(2).Iterator()
+	it.Open()
+	if !it.AtEnd() {
+		t.Fatalf("empty open should be at end")
+	}
+	it.Up()
+	if it.Depth() != -1 {
+		t.Fatalf("depth = %d", it.Depth())
+	}
+}
+
+// TestTrieIterMatchesReference drives identical random navigation scripts
+// against the treap-backed iterator and the slice-based reference
+// implementation, requiring identical observations.
+func TestTrieIterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		var ts []tuple.Tuple
+		n := rng.Intn(300) + 1
+		for i := 0; i < n; i++ {
+			ts = append(ts, tuple.Ints(rng.Int63n(6), rng.Int63n(6), rng.Int63n(6)))
+		}
+		tuple.SortTuples(ts)
+		ts = tuple.DedupSorted(ts)
+		r := FromTuples(3, ts)
+		a := r.Iterator()
+		b := trie.Iterator(trie.NewSliceIterator(ts, 3))
+
+		check := func(step string) {
+			t.Helper()
+			if a.AtEnd() != b.AtEnd() {
+				t.Fatalf("trial %d %s: AtEnd %v vs %v", trial, step, a.AtEnd(), b.AtEnd())
+			}
+			if a.Depth() != b.Depth() {
+				t.Fatalf("trial %d %s: Depth %d vs %d", trial, step, a.Depth(), b.Depth())
+			}
+			if !a.AtEnd() && a.Depth() >= 0 {
+				if !tuple.Equal(a.Key(), b.Key()) {
+					t.Fatalf("trial %d %s: Key %v vs %v", trial, step, a.Key(), b.Key())
+				}
+			}
+		}
+
+		a.Open()
+		b.Open()
+		check("open-root")
+		for step := 0; step < 200; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 && !a.AtEnd() && a.Depth() < a.Arity()-1:
+				a.Open()
+				b.Open()
+				check("open")
+			case op == 1 && a.Depth() > 0:
+				a.Up()
+				b.Up()
+				check("up")
+			case op == 2 && !a.AtEnd():
+				a.Next()
+				b.Next()
+				check("next")
+			case op == 3 && !a.AtEnd():
+				probe := tuple.Int(a.Key().AsInt() + rng.Int63n(3))
+				a.Seek(probe)
+				b.Seek(probe)
+				check("seek")
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logicblox/internal/tuple"
+)
+
+func TestInsertContainsDelete(t *testing.T) {
+	r := New(2)
+	r1 := r.Insert(tuple.Ints(1, 2)).Insert(tuple.Ints(3, 4))
+	if r1.Len() != 2 || !r1.Contains(tuple.Ints(1, 2)) {
+		t.Fatalf("insert failed")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("persistence violated")
+	}
+	r2 := r1.Delete(tuple.Ints(1, 2))
+	if r2.Contains(tuple.Ints(1, 2)) || !r1.Contains(tuple.Ints(1, 2)) {
+		t.Fatalf("delete failed")
+	}
+	// Set semantics: re-inserting is a no-op for contents.
+	r3 := r1.Insert(tuple.Ints(1, 2))
+	if r3.Len() != 2 || !r1.Equal(r3) {
+		t.Fatalf("duplicate insert changed relation")
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Insert(tuple.Ints(1))
+}
+
+func TestSetOpsAndEquality(t *testing.T) {
+	a := FromTuples(1, []tuple.Tuple{tuple.Ints(1), tuple.Ints(2), tuple.Ints(3)})
+	b := FromTuples(1, []tuple.Tuple{tuple.Ints(2), tuple.Ints(3), tuple.Ints(4)})
+	if got := a.Union(b).Len(); got != 4 {
+		t.Fatalf("union len = %d", got)
+	}
+	if got := a.Intersect(b).Len(); got != 2 {
+		t.Fatalf("intersect len = %d", got)
+	}
+	d := a.Difference(b)
+	if d.Len() != 1 || !d.Contains(tuple.Ints(1)) {
+		t.Fatalf("difference wrong")
+	}
+	if !a.Equal(FromTuples(1, []tuple.Tuple{tuple.Ints(3), tuple.Ints(1), tuple.Ints(2)})) {
+		t.Fatalf("order-insensitive equality failed")
+	}
+	if a.StructuralHash() == b.StructuralHash() {
+		t.Fatalf("different relations with same hash (unexpected collision)")
+	}
+}
+
+func TestDiffEnumeratesChanges(t *testing.T) {
+	old := FromTuples(2, []tuple.Tuple{tuple.Ints(1, 1), tuple.Ints(2, 2), tuple.Ints(3, 3)})
+	upd := old.Delete(tuple.Ints(2, 2)).Insert(tuple.Ints(4, 4))
+	var dels, inss []tuple.Tuple
+	old.Diff(upd, func(x tuple.Tuple) { dels = append(dels, x) }, func(x tuple.Tuple) { inss = append(inss, x) })
+	if len(dels) != 1 || !dels[0].Equal(tuple.Ints(2, 2)) {
+		t.Fatalf("dels = %v", dels)
+	}
+	if len(inss) != 1 || !inss[0].Equal(tuple.Ints(4, 4)) {
+		t.Fatalf("inss = %v", inss)
+	}
+}
+
+func TestPermutedAndProject(t *testing.T) {
+	r := FromTuples(3, []tuple.Tuple{tuple.Ints(1, 2, 3), tuple.Ints(4, 5, 6)})
+	p := r.Permuted([]int{2, 1, 0})
+	if !p.Contains(tuple.Ints(3, 2, 1)) || !p.Contains(tuple.Ints(6, 5, 4)) {
+		t.Fatalf("permute wrong: %v", p.Slice())
+	}
+	pr := r.Project(2)
+	if pr.Arity() != 2 || !pr.Contains(tuple.Ints(1, 2)) || pr.Len() != 2 {
+		t.Fatalf("project wrong: %v", pr.Slice())
+	}
+	dup := FromTuples(2, []tuple.Tuple{tuple.Ints(1, 2), tuple.Ints(1, 3)})
+	if got := dup.Project(1).Len(); got != 1 {
+		t.Fatalf("project should dedup, got %d", got)
+	}
+}
+
+func TestLookupAndFuncGet(t *testing.T) {
+	r := FromTuples(2, []tuple.Tuple{
+		tuple.Of(tuple.String("a"), tuple.Int(1)),
+		tuple.Of(tuple.String("b"), tuple.Int(2)),
+		tuple.Of(tuple.String("b"), tuple.Int(3)),
+		tuple.Of(tuple.String("c"), tuple.Int(4)),
+	})
+	got := r.Lookup(tuple.Strings("b"))
+	if len(got) != 2 || got[0][1].AsInt() != 2 || got[1][1].AsInt() != 3 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if v, ok := r.FuncGet(tuple.Strings("c")); !ok || v.AsInt() != 4 {
+		t.Fatalf("FuncGet = %v,%v", v, ok)
+	}
+	if _, ok := r.FuncGet(tuple.Strings("zzz")); ok {
+		t.Fatalf("FuncGet should miss")
+	}
+	if got := r.Lookup(tuple.Strings("zz")); len(got) != 0 {
+		t.Fatalf("Lookup miss = %v", got)
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	r := FromTuples(1, []tuple.Tuple{tuple.Ints(3), tuple.Ints(1), tuple.Ints(2)})
+	var seen []int64
+	r.ForEach(func(t tuple.Tuple) bool {
+		seen = append(seen, t[0].AsInt())
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("ForEach = %v", seen)
+	}
+}
+
+func TestBranchSharingEquality(t *testing.T) {
+	// A branch (copy of the Relation value) shares all structure; diffing
+	// the branch against the original reports nothing.
+	base := New(2)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		base = base.Insert(tuple.Ints(rng.Int63n(500), rng.Int63n(500)))
+	}
+	branch := base // O(1) branch
+	if !base.Equal(branch) {
+		t.Fatalf("branch not equal")
+	}
+	count := 0
+	base.Diff(branch, func(tuple.Tuple) { count++ }, func(tuple.Tuple) { count++ })
+	if count != 0 {
+		t.Fatalf("diff of identical versions reported %d changes", count)
+	}
+	mod := branch.Insert(tuple.Ints(9999, 9999))
+	if base.Equal(mod) {
+		t.Fatalf("modified branch equal to base")
+	}
+}
+
+func TestRelationModelProperty(t *testing.T) {
+	// Relation behaves like a model set of 2-tuples.
+	f := func(pairs [][2]int8, probe [2]int8) bool {
+		r := New(2)
+		model := map[[2]int8]bool{}
+		for _, p := range pairs {
+			r = r.Insert(tuple.Ints(int64(p[0]), int64(p[1])))
+			model[p] = true
+		}
+		if r.Len() != len(model) {
+			return false
+		}
+		return r.Contains(tuple.Ints(int64(probe[0]), int64(probe[1]))) == model[probe]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

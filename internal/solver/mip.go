@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"math"
+)
+
+// SolveMIP maximizes the problem with integrality on the variables marked
+// in p.Integer, using LP-based branch and bound with best-bound pruning.
+// When the free predicate of a LogiQL program is re-declared over
+// integers, the system reformulates and routes here (paper §2.3.1).
+func SolveMIP(p *Problem) (*Solution, error) {
+	relaxed, err := SolveLP(p)
+	if err != nil {
+		return nil, err
+	}
+	if relaxed.Status != Optimal {
+		return relaxed, nil
+	}
+	best := &Solution{Status: Infeasible, Objective: math.Inf(-1)}
+	err = branch(p, nil, relaxed, best, 0)
+	if err != nil {
+		return nil, err
+	}
+	if best.Status != Optimal {
+		return &Solution{Status: Infeasible}, nil
+	}
+	return best, nil
+}
+
+// bound is an extra x_i ≤ v or x_i ≥ v branching constraint.
+type bound struct {
+	v     int
+	coeff float64 // +1 for ≤, -1 encodes ≥ via flipped constraint
+	ge    bool
+	idx   int
+}
+
+const intTol = 1e-6
+
+func branch(p *Problem, bounds []bound, relaxed *Solution, best *Solution, depth int) error {
+	if depth > 200 {
+		return nil
+	}
+	if relaxed.Status != Optimal {
+		return nil
+	}
+	// Best-bound pruning: the relaxation bounds any integer solution below.
+	if relaxed.Objective <= best.Objective+intTol {
+		return nil
+	}
+	// Find the most fractional integral variable.
+	frac := -1
+	fracDist := 0.0
+	for i := 0; i < p.NumVars && i < len(p.Integer); i++ {
+		if !p.Integer[i] {
+			continue
+		}
+		f := relaxed.X[i] - math.Floor(relaxed.X[i])
+		d := math.Min(f, 1-f)
+		if d > intTol && d > fracDist {
+			fracDist = d
+			frac = i
+		}
+	}
+	if frac < 0 {
+		// Integral: round and record.
+		if relaxed.Objective > best.Objective {
+			x := append([]float64(nil), relaxed.X...)
+			for i := range x {
+				if i < len(p.Integer) && p.Integer[i] {
+					x[i] = math.Round(x[i])
+				}
+			}
+			*best = Solution{Status: Optimal, X: x, Objective: relaxed.Objective}
+		}
+		return nil
+	}
+
+	floorV := math.Floor(relaxed.X[frac])
+	for _, b := range []bound{
+		{idx: frac, v: int(floorV), ge: false},    // x ≤ ⌊v⌋
+		{idx: frac, v: int(floorV) + 1, ge: true}, // x ≥ ⌊v⌋+1
+	} {
+		sub := *p
+		sub.Constraints = append(append([]LinConstraint(nil), p.Constraints...), boundConstraint(b))
+		rel, err := SolveLP(&sub)
+		if err != nil {
+			return err
+		}
+		if err := branch(&sub, append(bounds, b), rel, best, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boundConstraint(b bound) LinConstraint {
+	op := LE
+	if b.ge {
+		op = GE
+	}
+	return LinConstraint{Coeffs: map[int]float64{b.idx: 1}, Op: op, RHS: float64(b.v)}
+}

@@ -1,0 +1,116 @@
+package treap
+
+// Iterator walks a treap in ascending key order and supports the
+// least-upper-bound Seek operation required by the leapfrog join
+// (paper §3.2): Seek positions at the smallest key ≥ the probe and runs in
+// O(log N); m ascending visits cost amortized O(1 + log(N/m)) because the
+// descent stack is reused.
+//
+// The zero Iterator is invalid; obtain one from Tree.Iterator.
+type Iterator[K, V any] struct {
+	ops   Ops[K]
+	root  *node[K, V]
+	stack []*node[K, V] // path of nodes whose key is still >= current position
+	cur   *node[K, V]
+	done  bool
+}
+
+// Iterator returns an iterator positioned at the first (smallest) entry.
+// If the tree is empty the iterator starts at the end.
+func (t Tree[K, V]) Iterator() *Iterator[K, V] {
+	it := &Iterator[K, V]{ops: t.ops, root: t.root}
+	it.First()
+	return it
+}
+
+// First repositions at the smallest entry.
+func (it *Iterator[K, V]) First() {
+	it.stack = it.stack[:0]
+	it.cur = nil
+	it.done = it.root == nil
+	n := it.root
+	for n != nil {
+		it.stack = append(it.stack, n)
+		n = n.left
+	}
+	it.pop()
+}
+
+func (it *Iterator[K, V]) pop() {
+	if len(it.stack) == 0 {
+		it.cur = nil
+		it.done = true
+		return
+	}
+	it.cur = it.stack[len(it.stack)-1]
+	it.stack = it.stack[:len(it.stack)-1]
+	it.done = false
+}
+
+// AtEnd reports whether the iterator is past the last entry.
+func (it *Iterator[K, V]) AtEnd() bool { return it.done }
+
+// Key returns the current key. It must not be called at the end.
+func (it *Iterator[K, V]) Key() K { return it.cur.key }
+
+// Value returns the current value. It must not be called at the end.
+func (it *Iterator[K, V]) Value() V { return it.cur.val }
+
+// Next advances to the next entry in key order.
+func (it *Iterator[K, V]) Next() {
+	if it.done {
+		return
+	}
+	n := it.cur.right
+	for n != nil {
+		it.stack = append(it.stack, n)
+		n = n.left
+	}
+	it.pop()
+}
+
+// Seek positions the iterator at the least entry with key ≥ probe. Per the
+// linear-iterator contract, probe must be ≥ the current key; Seek also
+// works from any position (including a fresh iterator) as a general
+// lower-bound search.
+func (it *Iterator[K, V]) Seek(probe K) {
+	var n *node[K, V]
+	switch {
+	case it.done || it.cur == nil:
+		if len(it.stack) == 0 {
+			// Fresh or exhausted iterator: general lower-bound from the root.
+			n = it.root
+		}
+	case it.ops.Compare(it.cur.key, probe) >= 0:
+		return // already at or past probe
+	default:
+		n = it.cur.right
+	}
+	// Search candidate regions in ascending order: first the subtree n,
+	// then each pending stack entry. A stack entry below the probe is
+	// discarded, but its right subtree (which holds keys between it and
+	// the next pending entry) becomes the next region to search.
+	for {
+		for n != nil {
+			if it.ops.Compare(n.key, probe) >= 0 {
+				it.stack = append(it.stack, n)
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		if len(it.stack) == 0 {
+			it.cur = nil
+			it.done = true
+			return
+		}
+		top := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		if it.ops.Compare(top.key, probe) >= 0 {
+			it.cur = top
+			it.done = false
+			return
+		}
+		n = top.right
+	}
+}

@@ -1,0 +1,137 @@
+package treap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestIteratorWalk(t *testing.T) {
+	tr := fromKeys([]int{5, 3, 8, 1, 9})
+	var got []int
+	for it := tr.Iterator(); !it.AtEnd(); it.Next() {
+		got = append(got, it.Key())
+		if it.Value() != it.Key()*10 {
+			t.Fatalf("value mismatch at %d", it.Key())
+		}
+	}
+	want := []int{1, 3, 5, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIteratorEmpty(t *testing.T) {
+	it := New[int, int](intOps()).Iterator()
+	if !it.AtEnd() {
+		t.Fatalf("iterator over empty tree should start at end")
+	}
+	it.Next() // must not panic
+	it.Seek(5)
+	if !it.AtEnd() {
+		t.Fatalf("seek on empty tree should stay at end")
+	}
+}
+
+func TestIteratorSeekLUB(t *testing.T) {
+	tr := fromKeys([]int{10, 20, 30, 40, 50})
+	cases := []struct {
+		probe int
+		want  int
+		atEnd bool
+	}{
+		{5, 10, false},
+		{10, 10, false},
+		{11, 20, false},
+		{35, 40, false},
+		{50, 50, false},
+		{51, 0, true},
+	}
+	for _, c := range cases {
+		it := tr.Iterator()
+		it.Seek(c.probe)
+		if it.AtEnd() != c.atEnd {
+			t.Fatalf("Seek(%d): atEnd=%v, want %v", c.probe, it.AtEnd(), c.atEnd)
+		}
+		if !c.atEnd && it.Key() != c.want {
+			t.Fatalf("Seek(%d) = %d, want %d", c.probe, it.Key(), c.want)
+		}
+	}
+}
+
+func TestIteratorSeekForwardSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keySet := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		keySet[rng.Intn(10000)] = true
+	}
+	var keys []int
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	tr := fromKeys(keys)
+
+	it := tr.Iterator()
+	probe := 0
+	for !it.AtEnd() {
+		probe += rng.Intn(40) + 1
+		it.Seek(probe)
+		if it.AtEnd() {
+			break
+		}
+		// Check against the model: smallest key >= probe.
+		i := sort.SearchInts(keys, probe)
+		if i >= len(keys) {
+			t.Fatalf("iterator found %d but model says end (probe %d)", it.Key(), probe)
+		}
+		if it.Key() != keys[i] {
+			t.Fatalf("Seek(%d) = %d, model %d", probe, it.Key(), keys[i])
+		}
+		probe = it.Key()
+	}
+}
+
+func TestIteratorMixedNextSeek(t *testing.T) {
+	keys := []int{1, 4, 6, 9, 12, 15, 22, 31}
+	tr := fromKeys(keys)
+	it := tr.Iterator()
+	if it.Key() != 1 {
+		t.Fatalf("first = %d", it.Key())
+	}
+	it.Next()
+	if it.Key() != 4 {
+		t.Fatalf("next = %d", it.Key())
+	}
+	it.Seek(10)
+	if it.Key() != 12 {
+		t.Fatalf("seek 10 = %d", it.Key())
+	}
+	it.Next()
+	if it.Key() != 15 {
+		t.Fatalf("next = %d", it.Key())
+	}
+	it.Seek(15) // seek to current key is a no-op
+	if it.Key() != 15 {
+		t.Fatalf("seek current = %d", it.Key())
+	}
+	it.Seek(100)
+	if !it.AtEnd() {
+		t.Fatalf("seek past end should end")
+	}
+}
+
+func TestIteratorFirstResets(t *testing.T) {
+	tr := fromKeys([]int{2, 4, 6})
+	it := tr.Iterator()
+	it.Seek(5)
+	it.First()
+	if it.AtEnd() || it.Key() != 2 {
+		t.Fatalf("First did not reset")
+	}
+}

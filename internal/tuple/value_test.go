@@ -1,0 +1,172 @@
+package tuple
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Bool(true), KindBool},
+		{Int(-7), KindInt},
+		{Float(3.5), KindFloat},
+		{String("abc"), KindString},
+		{Entity(2, 9), KindEntity},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if Int(-7).AsInt() != -7 {
+		t.Errorf("AsInt round trip failed")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Errorf("AsFloat round trip failed")
+	}
+	if String("abc").AsString() != "abc" {
+		t.Errorf("AsString round trip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Errorf("AsBool round trip failed")
+	}
+	if Entity(2, 9).EntityType() != 2 || Entity(2, 9).EntityOrdinal() != 9 {
+		t.Errorf("Entity round trip failed")
+	}
+}
+
+func TestValueCompareWithinKind(t *testing.T) {
+	if Compare(Int(1), Int(2)) >= 0 || Compare(Int(2), Int(1)) <= 0 || Compare(Int(3), Int(3)) != 0 {
+		t.Errorf("int compare broken")
+	}
+	if Compare(String("a"), String("b")) >= 0 {
+		t.Errorf("string compare broken")
+	}
+	if Compare(Float(1.5), Float(2.5)) >= 0 {
+		t.Errorf("float compare broken")
+	}
+	if Compare(Bool(false), Bool(true)) >= 0 {
+		t.Errorf("bool compare broken")
+	}
+}
+
+func TestValueCompareAcrossKinds(t *testing.T) {
+	// Cross-kind ordering follows Kind constants: null < bool < int < float < string < entity.
+	ordered := []Value{Null, Bool(true), Int(5), Float(0.1), String(""), Entity(0, 0)}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			c := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("expected %v < %v", ordered[i], ordered[j])
+			case i > j && c <= 0:
+				t.Errorf("expected %v > %v", ordered[i], ordered[j])
+			case i == j && c != 0:
+				t.Errorf("expected %v == %v", ordered[i], ordered[j])
+			}
+		}
+	}
+}
+
+func TestMinMaxValueAreExtremes(t *testing.T) {
+	vals := []Value{Bool(false), Int(-1 << 62), Int(1 << 62), Float(-1e300), String("zzz"), Entity(4e9, 4e9)}
+	for _, v := range vals {
+		if Compare(MinValue(), v) > 0 {
+			t.Errorf("MinValue not <= %v", v)
+		}
+		if Compare(MaxValue(), v) < 0 {
+			t.Errorf("MaxValue not >= %v", v)
+		}
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Antisymmetry and transitivity on random values via sorting round trip.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]Value, 200)
+	for i := range vals {
+		switch rng.Intn(4) {
+		case 0:
+			vals[i] = Int(rng.Int63n(50) - 25)
+		case 1:
+			vals[i] = Float(float64(rng.Intn(10)) / 2)
+		case 2:
+			vals[i] = String(string(rune('a' + rng.Intn(5))))
+		default:
+			vals[i] = Bool(rng.Intn(2) == 0)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return Less(vals[i], vals[j]) })
+	for i := 1; i < len(vals); i++ {
+		if Compare(vals[i-1], vals[i]) > 0 {
+			t.Fatalf("sort produced out-of-order values at %d: %v > %v", i, vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestHashEqualValuesEqualHashes(t *testing.T) {
+	f := func(x int64) bool { return Int(x).Hash() == Int(x).Hash() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool { return String(s).Hash() == String(s).Hash() }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashSpreadsSequentialInts(t *testing.T) {
+	// The treap relies on hash-derived priorities being well mixed even for
+	// dense integer keys; check no obvious collisions in a small window.
+	seen := map[uint64]int64{}
+	for i := int64(0); i < 100000; i++ {
+		h := Int(i).Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if f, ok := Int(3).Numeric(); !ok || f != 3 {
+		t.Errorf("Int Numeric = %v,%v", f, ok)
+	}
+	if f, ok := Float(2.5).Numeric(); !ok || f != 2.5 {
+		t.Errorf("Float Numeric = %v,%v", f, ok)
+	}
+	if _, ok := String("x").Numeric(); ok {
+		t.Errorf("String should not be numeric")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"null": Null,
+		"true": Bool(true),
+		"-12":  Int(-12),
+		"2.5":  Float(2.5),
+		`"hi"`: String("hi"),
+		"@1:2": Entity(1, 2),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic calling AsInt on a string")
+		}
+	}()
+	String("x").AsInt()
+}

@@ -1,0 +1,262 @@
+package txrepair
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"logicblox/internal/tuple"
+)
+
+// Stats reports a concurrent run.
+type Stats struct {
+	Transactions int
+	Repairs      int // ops recomputed during repair (repair executor only)
+	LockWaits    int // lock acquisitions that blocked (locking executor only)
+}
+
+// RunSerial executes transactions one after another (the 1-core
+// reference).
+func RunSerial(base Store, txs []*Tx) (Store, Stats) {
+	cur := base
+	for _, tx := range txs {
+		e := Execute(tx, cur)
+		cur = e.Apply(cur)
+	}
+	return cur, Stats{Transactions: len(txs)}
+}
+
+// RunRepair executes all transactions concurrently, each on its own O(1)
+// branch of the base store, then commits them as a binary circuit of
+// composite transactions (paper Figure 7b): pairs are merged in parallel
+// level by level, corrections flowing left to right, so the batch commits
+// with logarithmic repair depth and no locks.
+func RunRepair(base Store, txs []*Tx, workers int) (Store, Stats) {
+	if workers < 1 {
+		workers = 1
+	}
+	// Phase 1: parallel speculative execution on branches of base.
+	executed := make([]*Executed, len(txs))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				executed[i] = Execute(txs[i], base)
+			}
+		}()
+	}
+	for i := range txs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	// Phase 2: parallel tree reduction into one composite transaction.
+	level := executed
+	for len(level) > 1 {
+		next := make([]*Executed, (len(level)+1)/2)
+		var mg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := 0; i+1 < len(level); i += 2 {
+			mg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer mg.Done()
+				next[i/2] = Merge(level[i], level[i+1])
+				<-sem
+			}(i)
+		}
+		if len(level)%2 == 1 {
+			next[len(next)-1] = level[len(level)-1]
+		}
+		mg.Wait()
+		level = next
+	}
+	stats := Stats{Transactions: len(txs)}
+	if len(level) == 1 {
+		stats.Repairs = level[0].Repairs()
+		return level[0].Apply(base), stats
+	}
+	return base, stats
+}
+
+// lockingStore is a shared mutable store with row-level locks, the
+// baseline concurrency control of the paper's §3.4 illustration. Rows are
+// laid out in a slice so that transactions holding locks on distinct rows
+// can update them concurrently; the index and lock table are immutable
+// after construction. Every key a transaction touches must exist in the
+// base store.
+type lockingStore struct {
+	index map[string]int // immutable after construction
+	vals  []tuple.Value  // one slot per row, guarded by the row's lock
+	locks []rowLock
+}
+
+type rowLock struct {
+	mu sync.Mutex
+}
+
+func newLockingStore(base Store) *lockingStore {
+	ls := &lockingStore{index: map[string]int{}}
+	base.Range(func(k string, v tuple.Value) bool {
+		ls.index[k] = len(ls.vals)
+		ls.vals = append(ls.vals, v)
+		return true
+	})
+	ls.locks = make([]rowLock, len(ls.vals))
+	return ls
+}
+
+func (ls *lockingStore) row(key string) int {
+	i, ok := ls.index[key]
+	if !ok {
+		panic("txrepair: locking executor requires all keys to pre-exist: " + key)
+	}
+	return i
+}
+
+// RunLocking executes transactions with strict two-phase row-level
+// locking over a shared mutable store. Deadlock is avoided by acquiring
+// locks in global key order. Lock conflicts serialize transactions that
+// share rows — the bottleneck the α-experiment demonstrates.
+func RunLocking(base Store, txs []*Tx, workers int) (Store, Stats) {
+	ls := newLockingStore(base)
+	var wg sync.WaitGroup
+	ch := make(chan *Tx)
+	var waits int64
+	var waitsMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localWaits := 0
+			for tx := range ch {
+				keys := txKeys(tx)
+				held := make([]*rowLock, 0, len(keys))
+				for _, k := range keys {
+					l := &ls.locks[ls.row(k)]
+					if !l.mu.TryLock() {
+						localWaits++
+						l.mu.Lock()
+					}
+					held = append(held, l)
+				}
+				for i := range tx.Ops {
+					op := &tx.Ops[i]
+					vals := make([]tuple.Value, len(op.Reads))
+					for j, r := range op.Reads {
+						vals[j] = ls.vals[ls.row(r)]
+					}
+					ls.vals[ls.row(op.Write)] = op.F(vals)
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					held[i].mu.Unlock()
+				}
+			}
+			waitsMu.Lock()
+			waits += int64(localWaits)
+			waitsMu.Unlock()
+		}()
+	}
+	for _, tx := range txs {
+		ch <- tx
+	}
+	close(ch)
+	wg.Wait()
+
+	out := NewStore()
+	for k, i := range ls.index {
+		out = out.Set(k, ls.vals[i])
+	}
+	return out, Stats{Transactions: len(txs), LockWaits: int(waits)}
+}
+
+// txKeys returns the sorted, deduplicated set of keys a transaction
+// touches (reads and writes), the global lock order.
+func txKeys(tx *Tx) []string {
+	set := map[string]bool{}
+	for i := range tx.Ops {
+		for _, r := range tx.Ops[i].Reads {
+			set[r] = true
+		}
+		set[tx.Ops[i].Write] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	// Insertion sort (key sets are small).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// InventoryWorkload generates the paper's §3.4 α-experiment: n items,
+// txCount transactions, each decrementing any given item's inventory with
+// independent probability α·n^(−1/2), so the expected number of items
+// shared by two transactions is α² (a birthday-paradox instance).
+func InventoryWorkload(n, txCount int, alpha float64, seed int64) (Store, []*Tx) {
+	return InventoryWorkloadWork(n, txCount, alpha, seed, 0)
+}
+
+// InventoryWorkloadWork is InventoryWorkload with workPerOp units of
+// simulated computation inside each operation (business logic evaluated
+// per adjusted item). Under two-phase locking that computation happens
+// while holding row locks; under transaction repair it happens in the
+// parallel speculative phase and again only for repaired ops.
+func InventoryWorkloadWork(n, txCount int, alpha float64, seed int64, workPerOp int) (Store, []*Tx) {
+	store := NewStore()
+	for i := 0; i < n; i++ {
+		store = store.Set(itemKey(i), tuple.Int(1000))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := alpha / math.Sqrt(float64(n))
+	decrement := func(vals []tuple.Value) tuple.Value {
+		spin(workPerOp)
+		return tuple.Int(vals[0].AsInt() - 1)
+	}
+	txs := make([]*Tx, txCount)
+	for t := 0; t < txCount; t++ {
+		tx := &Tx{ID: t}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k := itemKey(i)
+				tx.Ops = append(tx.Ops, Op{Reads: []string{k}, Write: k, F: decrement})
+			}
+		}
+		// Every transaction touches at least one item so the workload
+		// has no trivial no-ops.
+		if len(tx.Ops) == 0 {
+			k := itemKey(rng.Intn(n))
+			tx.Ops = append(tx.Ops, Op{Reads: []string{k}, Write: k, F: decrement})
+		}
+		txs[t] = tx
+	}
+	return store, txs
+}
+
+// spinSink defeats dead-code elimination of the spin loop.
+var spinSink uint64
+
+// spin burns roughly `units` small amounts of CPU, simulating the
+// business logic a transaction performs per adjusted item.
+func spin(units int) {
+	h := spinSink
+	for i := 0; i < units*64; i++ {
+		h ^= h<<13 + uint64(i)
+		h ^= h >> 7
+		h ^= h << 17
+	}
+	if h == 1 {
+		spinSink = h
+	}
+}
+
+func itemKey(i int) string { return Key("inventory", fmt.Sprintf("item%06d", i)) }

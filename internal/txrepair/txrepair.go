@@ -1,0 +1,280 @@
+// Package txrepair implements transaction repair (paper §3.4, Veldhuizen
+// 2014): full serializability without locks. Each transaction runs on its
+// own O(1) branch of the store, recording transaction sensitivities (what
+// it read) and transaction effects (what it wrote). At commit time,
+// conflicts are detected by intersecting earlier transactions' effects
+// with later transactions' sensitivities, and conflicting transactions
+// are *repaired* — only the operations whose inputs actually changed are
+// recomputed — rather than aborted or serialized. Transactions compose
+// into binary-tree circuits (paper Figure 7b), so a batch commits with
+// logarithmic repair depth.
+//
+// A row-level two-phase-locking executor (locking.go) provides the
+// baseline of the paper's α-experiment comparison.
+package txrepair
+
+import (
+	"logicblox/internal/pmap"
+	"logicblox/internal/tuple"
+)
+
+// Store is an immutable key→value store built on persistent maps:
+// branching a store for a transaction is an O(1) copy. Keys name
+// functional-predicate entries, e.g. "inventory/Popsicle".
+type Store struct {
+	m pmap.Map[tuple.Value]
+}
+
+// NewStore returns an empty store.
+func NewStore() Store { return Store{m: pmap.NewMap[tuple.Value]()} }
+
+// Key builds a store key for a functional predicate entry.
+func Key(pred string, key string) string { return pred + "/" + key }
+
+// Get reads a value.
+func (s Store) Get(key string) (tuple.Value, bool) { return s.m.Get(key) }
+
+// Set returns a store with key bound to val.
+func (s Store) Set(key string, val tuple.Value) Store { return Store{m: s.m.Set(key, val)} }
+
+// Len returns the number of entries.
+func (s Store) Len() int { return s.m.Len() }
+
+// Range iterates entries in key order.
+func (s Store) Range(fn func(key string, val tuple.Value) bool) { s.m.Range(fn) }
+
+// Op is one read-modify-write operation of a transaction: it reads the
+// values of Reads, applies F, and writes the result to Write. Operations
+// within a transaction are independent (no op reads another op's write),
+// which is the structure of the paper's bulk inventory-adjustment
+// transactions.
+type Op struct {
+	Reads []string
+	Write string
+	F     func(vals []tuple.Value) tuple.Value
+}
+
+// Tx is a transaction: a set of operations executed atomically.
+type Tx struct {
+	ID  int
+	Ops []Op
+}
+
+// Effect is one entry of a transaction's effects: the key's value before
+// and after (paper: −inventory[l]=2, +inventory[l]=1).
+type Effect struct {
+	Old    tuple.Value
+	HasOld bool
+	New    tuple.Value
+}
+
+// Executed is a transaction (or a composite of transactions) that has run
+// against a snapshot: it exposes effects and sensitivities and accepts
+// corrections, staying up to date as they arrive (paper Figure 7).
+type Executed struct {
+	// Leaf fields.
+	Tx          *Tx
+	snapshot    Store
+	corrections map[string]tuple.Value
+	sens        map[string][]int // read key → ops reading it
+	// Composite fields (paper Figure 7b).
+	left, right *Executed
+	// reads is the (superset of the) key set this transaction is
+	// sensitive to, used to prune correction delivery in circuits.
+	reads map[string]struct{}
+
+	effects map[string]Effect
+	repairs int
+}
+
+// Execute runs tx against its own branch of base and returns the executed
+// transaction with recorded effects and sensitivities. Branching is the
+// O(1) persistent-store copy.
+func Execute(tx *Tx, base Store) *Executed {
+	e := &Executed{
+		Tx:          tx,
+		snapshot:    base, // O(1) branch
+		corrections: map[string]tuple.Value{},
+		sens:        map[string][]int{},
+		effects:     map[string]Effect{},
+	}
+	for i := range tx.Ops {
+		e.runOp(i)
+		for _, r := range tx.Ops[i].Reads {
+			e.sens[r] = append(e.sens[r], i)
+		}
+	}
+	e.reads = make(map[string]struct{}, len(e.sens))
+	for k := range e.sens {
+		e.reads[k] = struct{}{}
+	}
+	return e
+}
+
+// read returns the current corrected view of a key.
+func (e *Executed) read(key string) (tuple.Value, bool) {
+	if v, ok := e.corrections[key]; ok {
+		return v, true
+	}
+	return e.snapshot.Get(key)
+}
+
+func (e *Executed) runOp(i int) {
+	op := &e.Tx.Ops[i]
+	vals := make([]tuple.Value, len(op.Reads))
+	for j, r := range op.Reads {
+		vals[j], _ = e.read(r)
+	}
+	old, hasOld := e.read(op.Write)
+	e.effects[op.Write] = Effect{Old: old, HasOld: hasOld, New: op.F(vals)}
+}
+
+// Sensitive reports whether a change to key can affect this transaction's
+// effects.
+func (e *Executed) Sensitive(key string) bool {
+	if e.left != nil {
+		if e.left.Sensitive(key) {
+			return true
+		}
+		if _, written := e.left.effects[key]; written {
+			return false // internal: the right part reads the left's write
+		}
+		return e.right.Sensitive(key)
+	}
+	_, ok := e.sens[key]
+	return ok
+}
+
+// Effects returns the transaction's current effects.
+func (e *Executed) Effects() map[string]Effect { return e.effects }
+
+// Repairs counts the operations recomputed after the initial run.
+func (e *Executed) Repairs() int {
+	if e.left != nil {
+		return e.left.Repairs() + e.right.Repairs()
+	}
+	return e.repairs
+}
+
+// Correct delivers corrections (effects of an earlier transaction) and
+// incrementally repairs: only operations that read a corrected key are
+// recomputed (paper Figure 7a). It returns the number of ops recomputed.
+func (e *Executed) Correct(corrections map[string]tuple.Value) int {
+	// Fast path: corrections that touch neither this transaction's reads
+	// nor its writes cannot change anything.
+	relevant := false
+	if len(corrections) <= len(e.reads)+len(e.effects) {
+		for k := range corrections {
+			if _, ok := e.reads[k]; ok {
+				relevant = true
+				break
+			}
+			if _, ok := e.effects[k]; ok {
+				relevant = true
+				break
+			}
+		}
+	} else {
+		for k := range e.reads {
+			if _, ok := corrections[k]; ok {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			for k := range e.effects {
+				if _, ok := corrections[k]; ok {
+					relevant = true
+					break
+				}
+			}
+		}
+	}
+	if !relevant {
+		return 0
+	}
+	if e.left != nil {
+		n := e.left.Correct(corrections)
+		// The right part sees the corrections as overridden by the left
+		// part's (possibly just-repaired) effects.
+		rcorr := make(map[string]tuple.Value, len(corrections)+len(e.left.effects))
+		for k, v := range corrections {
+			rcorr[k] = v
+		}
+		for k, eff := range e.left.effects {
+			rcorr[k] = eff.New
+		}
+		n += e.right.Correct(rcorr)
+		e.recompose()
+		return n
+	}
+
+	dirty := map[int]bool{}
+	for key, val := range corrections {
+		prev, had := e.read(key)
+		if had && tuple.Equal(prev, val) {
+			continue
+		}
+		e.corrections[key] = val
+		for _, op := range e.sens[key] {
+			dirty[op] = true
+		}
+		// A correction to a key this transaction writes (but does not
+		// read) updates the effect's before-image.
+		if eff, ok := e.effects[key]; ok {
+			eff.Old, eff.HasOld = val, true
+			e.effects[key] = eff
+		}
+	}
+	for i := range dirty {
+		e.runOp(i)
+	}
+	e.repairs += len(dirty)
+	return len(dirty)
+}
+
+// recompose rebuilds a composite's effects from its parts: the sequential
+// composition with the right side winning per key.
+func (e *Executed) recompose() {
+	e.effects = make(map[string]Effect, len(e.left.effects)+len(e.right.effects))
+	for k, eff := range e.left.effects {
+		e.effects[k] = eff
+	}
+	for k, eff := range e.right.effects {
+		if prior, ok := e.left.effects[k]; ok {
+			eff.Old, eff.HasOld = prior.Old, prior.HasOld
+		}
+		e.effects[k] = eff
+	}
+}
+
+// Merge composes two executed transactions into a composite implementing
+// the same interface (paper Figure 7b): the left part's effects are fed
+// to the right as corrections — repairing it exactly where they intersect
+// its sensitivities — and the composite exposes composed effects and
+// merged sensitivities.
+func Merge(a, b *Executed) *Executed {
+	corr := make(map[string]tuple.Value, len(a.effects))
+	for k, eff := range a.effects {
+		corr[k] = eff.New
+	}
+	b.Correct(corr)
+	c := &Executed{left: a, right: b}
+	c.reads = make(map[string]struct{}, len(a.reads)+len(b.reads))
+	for k := range a.reads {
+		c.reads[k] = struct{}{}
+	}
+	for k := range b.reads {
+		c.reads[k] = struct{}{}
+	}
+	c.recompose()
+	return c
+}
+
+// Apply writes the transaction's effects into a store, committing it.
+func (e *Executed) Apply(s Store) Store {
+	for k, eff := range e.effects {
+		s = s.Set(k, eff.New)
+	}
+	return s
+}

@@ -1,0 +1,321 @@
+package txrepair
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"logicblox/internal/tuple"
+)
+
+func decOp(key string) Op {
+	return Op{
+		Reads: []string{key},
+		Write: key,
+		F:     func(vals []tuple.Value) tuple.Value { return tuple.Int(vals[0].AsInt() - 1) },
+	}
+}
+
+// TestPaperPopsicleExample follows §3.4's walkthrough: a transaction
+// decrements inventory["Popsicle"]; its effects are −inventory=2,
+// +inventory=1; after receiving those effects as corrections it produces
+// −inventory=1, +inventory=0.
+func TestPaperPopsicleExample(t *testing.T) {
+	k := Key("inventory", "Popsicle")
+	store := NewStore().Set(k, tuple.Int(2))
+	tx := &Tx{ID: 1, Ops: []Op{decOp(k)}}
+
+	e := Execute(tx, store)
+	eff := e.Effects()[k]
+	if !eff.HasOld || eff.Old.AsInt() != 2 || eff.New.AsInt() != 1 {
+		t.Fatalf("effects = %+v, want -2/+1", eff)
+	}
+	if !e.Sensitive(k) {
+		t.Fatalf("transaction should be sensitive to its read key")
+	}
+	if e.Sensitive(Key("inventory", "IceCream")) {
+		t.Fatalf("transaction should not be sensitive to unread keys")
+	}
+
+	// Receive the same effects as incoming corrections (an earlier
+	// transaction also decremented): the repaired effects are -1/+0.
+	n := e.Correct(map[string]tuple.Value{k: tuple.Int(1)})
+	if n != 1 {
+		t.Fatalf("repaired %d ops, want 1", n)
+	}
+	eff = e.Effects()[k]
+	if eff.Old.AsInt() != 1 || eff.New.AsInt() != 0 {
+		t.Fatalf("repaired effects = %+v, want -1/+0", eff)
+	}
+}
+
+func TestCorrectSkipsUnchangedValues(t *testing.T) {
+	k := Key("inventory", "x")
+	store := NewStore().Set(k, tuple.Int(5))
+	e := Execute(&Tx{Ops: []Op{decOp(k)}}, store)
+	if n := e.Correct(map[string]tuple.Value{k: tuple.Int(5)}); n != 0 {
+		t.Fatalf("correction equal to snapshot value caused %d repairs", n)
+	}
+}
+
+func TestMergeComposition(t *testing.T) {
+	k := Key("inventory", "shared")
+	store := NewStore().Set(k, tuple.Int(10))
+	t1 := Execute(&Tx{ID: 1, Ops: []Op{decOp(k)}}, store)
+	t2 := Execute(&Tx{ID: 2, Ops: []Op{decOp(k)}}, store)
+	c := Merge(t1, t2)
+	eff := c.Effects()[k]
+	// Sequentially: 10 → 9 → 8; composite effect is -10/+8.
+	if eff.Old.AsInt() != 10 || eff.New.AsInt() != 8 {
+		t.Fatalf("composite effect = %+v", eff)
+	}
+	if c.Repairs() != 1 {
+		t.Fatalf("repairs = %d, want 1 (t2 repaired once)", c.Repairs())
+	}
+	final := c.Apply(store)
+	if v, _ := final.Get(k); v.AsInt() != 8 {
+		t.Fatalf("final value = %v", v)
+	}
+}
+
+func TestMergeDisjointNoRepair(t *testing.T) {
+	ka, kb := Key("inv", "a"), Key("inv", "b")
+	store := NewStore().Set(ka, tuple.Int(3)).Set(kb, tuple.Int(7))
+	t1 := Execute(&Tx{Ops: []Op{decOp(ka)}}, store)
+	t2 := Execute(&Tx{Ops: []Op{decOp(kb)}}, store)
+	c := Merge(t1, t2)
+	if c.Repairs() != 0 {
+		t.Fatalf("disjoint transactions repaired %d ops", c.Repairs())
+	}
+	final := c.Apply(store)
+	if v, _ := final.Get(ka); v.AsInt() != 2 {
+		t.Fatalf("a = %v", v)
+	}
+	if v, _ := final.Get(kb); v.AsInt() != 6 {
+		t.Fatalf("b = %v", v)
+	}
+}
+
+func TestCompositeCorrection(t *testing.T) {
+	// Corrections must flow into an already-composed circuit.
+	k := Key("inv", "x")
+	store := NewStore().Set(k, tuple.Int(100))
+	t1 := Execute(&Tx{Ops: []Op{decOp(k)}}, store)
+	t2 := Execute(&Tx{Ops: []Op{decOp(k)}}, store)
+	c := Merge(t1, t2) // 100 → 98
+	// An earlier transaction committed 100→50: the composite must repair
+	// to 50→48.
+	c.Correct(map[string]tuple.Value{k: tuple.Int(50)})
+	eff := c.Effects()[k]
+	if eff.Old.AsInt() != 50 || eff.New.AsInt() != 48 {
+		t.Fatalf("composite after correction = %+v", eff)
+	}
+}
+
+func TestSerializability(t *testing.T) {
+	// All executors must agree with the serial result on the inventory
+	// workload (decrements commute, so any serialization yields the same
+	// final store).
+	for _, alpha := range []float64{0.1, 1, 10} {
+		store, txs := InventoryWorkload(400, 64, alpha, 42)
+		want, _ := RunSerial(store, txs)
+
+		gotRepair, stats := RunRepair(store, txs, runtime.NumCPU())
+		if !storesEqual(want, gotRepair) {
+			t.Fatalf("alpha=%v: repair result differs from serial", alpha)
+		}
+		if alpha >= 10 && stats.Repairs == 0 {
+			t.Fatalf("alpha=%v: expected conflicts to cause repairs", alpha)
+		}
+
+		gotLock, _ := RunLocking(store, txs, 4)
+		if !storesEqual(want, gotLock) {
+			t.Fatalf("alpha=%v: locking result differs from serial", alpha)
+		}
+	}
+}
+
+func storesEqual(a, b Store) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	equal := true
+	a.Range(func(k string, v tuple.Value) bool {
+		if bv, ok := b.Get(k); !ok || !tuple.Equal(v, bv) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+func TestRepairCountScalesWithAlpha(t *testing.T) {
+	// Higher α ⇒ more shared items ⇒ more (but still cheap, localized)
+	// repairs. The expected shared items per pair is α².
+	_, lowStats := runAlpha(t, 0.1)
+	_, highStats := runAlpha(t, 10)
+	if highStats.Repairs <= lowStats.Repairs {
+		t.Fatalf("repairs: alpha=0.1 → %d, alpha=10 → %d; expected growth",
+			lowStats.Repairs, highStats.Repairs)
+	}
+}
+
+func runAlpha(t *testing.T, alpha float64) (Store, Stats) {
+	t.Helper()
+	store, txs := InventoryWorkload(900, 64, alpha, 7)
+	return RunRepair(store, txs, 4)
+}
+
+func TestLockingWaitsGrowWithAlpha(t *testing.T) {
+	// With per-op work (locks held while computing), high α must contend.
+	store, txs := InventoryWorkloadWork(900, 128, 10, 7, 50)
+	_, stats := RunLocking(store, txs, 8)
+	if stats.LockWaits == 0 {
+		t.Fatalf("alpha=10 with 8 workers should contend on locks")
+	}
+}
+
+func TestInventoryWorkloadShape(t *testing.T) {
+	store, txs := InventoryWorkload(100, 50, 1, 3)
+	if store.Len() != 100 {
+		t.Fatalf("store size = %d", store.Len())
+	}
+	if len(txs) != 50 {
+		t.Fatalf("tx count = %d", len(txs))
+	}
+	total := 0
+	for _, tx := range txs {
+		if len(tx.Ops) == 0 {
+			t.Fatalf("transaction with no ops")
+		}
+		total += len(tx.Ops)
+	}
+	// E[ops per tx] = α·√n = 10; allow generous slack.
+	avg := float64(total) / float64(len(txs))
+	if avg < 3 || avg > 30 {
+		t.Fatalf("average ops per tx = %.1f, expected ≈ 10", avg)
+	}
+	// Determinism.
+	_, txs2 := InventoryWorkload(100, 50, 1, 3)
+	for i := range txs {
+		if len(txs[i].Ops) != len(txs2[i].Ops) {
+			t.Fatalf("workload not deterministic")
+		}
+	}
+}
+
+func TestRunRepairSingleAndEmpty(t *testing.T) {
+	store := NewStore().Set("a/1", tuple.Int(1))
+	out, stats := RunRepair(store, nil, 2)
+	if !storesEqual(out, store) || stats.Transactions != 0 {
+		t.Fatalf("empty batch changed store")
+	}
+	tx := &Tx{Ops: []Op{decOp("a/1")}}
+	out, _ = RunRepair(store, []*Tx{tx}, 2)
+	if v, _ := out.Get("a/1"); v.AsInt() != 0 {
+		t.Fatalf("single tx result = %v", v)
+	}
+}
+
+func TestBranchIsolation(t *testing.T) {
+	// Changes in one branch (transaction) are invisible outside it until
+	// applied (T4: perfect isolation).
+	k := Key("inv", "x")
+	store := NewStore().Set(k, tuple.Int(9))
+	e := Execute(&Tx{Ops: []Op{decOp(k)}}, store)
+	if v, _ := store.Get(k); v.AsInt() != 9 {
+		t.Fatalf("executing a transaction mutated the base store")
+	}
+	after := e.Apply(store)
+	if v, _ := after.Get(k); v.AsInt() != 8 {
+		t.Fatalf("apply result = %v", v)
+	}
+	if v, _ := store.Get(k); v.AsInt() != 9 {
+		t.Fatalf("apply mutated the base store")
+	}
+}
+
+// TestSerializabilityNonCommutative uses non-commuting operations
+// (x ← 2x + opID) so only the exact batch serialization order yields the
+// serial result: the repair circuit must realize precisely that order.
+func TestSerializabilityNonCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 40
+	store := NewStore()
+	for i := 0; i < n; i++ {
+		store = store.Set(itemKey(i), tuple.Int(int64(i)))
+	}
+	var txs []*Tx
+	for id := 0; id < 32; id++ {
+		tx := &Tx{ID: id}
+		seen := map[string]bool{}
+		for j := 0; j < rng.Intn(6)+1; j++ {
+			k := itemKey(rng.Intn(n))
+			if seen[k] {
+				continue // ops within a transaction are independent (distinct keys)
+			}
+			seen[k] = true
+			opID := int64(id*100 + j)
+			tx.Ops = append(tx.Ops, Op{
+				Reads: []string{k},
+				Write: k,
+				F: func(vals []tuple.Value) tuple.Value {
+					return tuple.Int(2*vals[0].AsInt() + opID)
+				},
+			})
+		}
+		txs = append(txs, tx)
+	}
+	want, _ := RunSerial(store, txs)
+	got, _ := RunRepair(store, txs, 4)
+	if !storesEqual(want, got) {
+		t.Fatal("repair violated the batch serialization order")
+	}
+	gotLock, _ := RunLocking(store, txs, 1) // 1 worker = batch order
+	if !storesEqual(want, gotLock) {
+		t.Fatal("single-worker locking diverged from serial")
+	}
+}
+
+// TestRepairPropertyRandom drives random batches through the repair
+// circuit and checks against serial execution.
+func TestRepairPropertyRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewStore()
+		n := rng.Intn(30) + 5
+		for i := 0; i < n; i++ {
+			store = store.Set(itemKey(i), tuple.Int(rng.Int63n(100)))
+		}
+		var txs []*Tx
+		for id := 0; id < rng.Intn(20)+1; id++ {
+			tx := &Tx{ID: id}
+			touched := map[string]bool{}
+			for j := 0; j < rng.Intn(4)+1; j++ {
+				k := itemKey(rng.Intn(n))
+				if touched[k] {
+					continue // keep ops within a transaction independent
+				}
+				touched[k] = true
+				mult := rng.Int63n(3) + 1
+				tx.Ops = append(tx.Ops, Op{
+					Reads: []string{k},
+					Write: k,
+					F: func(vals []tuple.Value) tuple.Value {
+						return tuple.Int(vals[0].AsInt()*mult + 1)
+					},
+				})
+			}
+			if len(tx.Ops) == 0 {
+				continue
+			}
+			txs = append(txs, tx)
+		}
+		want, _ := RunSerial(store, txs)
+		got, _ := RunRepair(store, txs, 3)
+		if !storesEqual(want, got) {
+			t.Fatalf("seed %d: repair result differs from serial", seed)
+		}
+	}
+}

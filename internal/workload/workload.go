@@ -1,0 +1,146 @@
+// Package workload generates deterministic synthetic retail data shaped
+// like the paper's motivating application (§2.1): products, stores,
+// weekly sales with promotion effects, and feature vectors for the
+// predictive-analytics experiments. Scales are parameterized so the
+// benchmark harness can sweep sizes.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// Retail bundles the generated relations.
+type Retail struct {
+	Products      relation.Relation // Product(p)
+	Stores        relation.Relation // Store(s)
+	Sales         relation.Relation // sales[p, s, wk] = units
+	Promo         relation.Relation // promo(p, wk)
+	SellingPrice  relation.Relation // sellingPrice[p] = price
+	BuyingPrice   relation.Relation // buyingPrice[p] = cost
+	SpacePerProd  relation.Relation // spacePerProd[p] = space
+	ProfitPerProd relation.Relation // profitPerProd[p] = profit
+	MinStock      relation.Relation // minStock[p] = v
+	MaxStock      relation.Relation // maxStock[p] = v
+}
+
+// Config sizes the generated dataset.
+type Config struct {
+	Products int
+	Stores   int
+	Weeks    int
+	Seed     int64
+}
+
+// Generate builds a deterministic retail dataset: sales follow a
+// per-product base rate with store multipliers and a promotion uplift.
+func Generate(cfg Config) *Retail {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := &Retail{
+		Products:      relation.New(1),
+		Stores:        relation.New(1),
+		Sales:         relation.New(4),
+		Promo:         relation.New(2),
+		SellingPrice:  relation.New(2),
+		BuyingPrice:   relation.New(2),
+		SpacePerProd:  relation.New(2),
+		ProfitPerProd: relation.New(2),
+		MinStock:      relation.New(2),
+		MaxStock:      relation.New(2),
+	}
+	for p := 0; p < cfg.Products; p++ {
+		name := ProductName(p)
+		pv := tuple.String(name)
+		r.Products = r.Products.Insert(tuple.Tuple{pv})
+		sell := 5 + rng.Float64()*20
+		buy := sell * (0.5 + rng.Float64()*0.3)
+		r.SellingPrice = r.SellingPrice.Insert(tuple.Tuple{pv, tuple.Float(round2(sell))})
+		r.BuyingPrice = r.BuyingPrice.Insert(tuple.Tuple{pv, tuple.Float(round2(buy))})
+		r.SpacePerProd = r.SpacePerProd.Insert(tuple.Tuple{pv, tuple.Float(round2(0.5 + rng.Float64()*2))})
+		r.ProfitPerProd = r.ProfitPerProd.Insert(tuple.Tuple{pv, tuple.Float(round2(sell - buy))})
+		r.MinStock = r.MinStock.Insert(tuple.Tuple{pv, tuple.Float(0)})
+		r.MaxStock = r.MaxStock.Insert(tuple.Tuple{pv, tuple.Float(float64(20 + rng.Intn(80)))})
+	}
+	for s := 0; s < cfg.Stores; s++ {
+		r.Stores = r.Stores.Insert(tuple.Strings(StoreName(s)))
+	}
+	for p := 0; p < cfg.Products; p++ {
+		base := 10 + rng.Float64()*50
+		pv := tuple.String(ProductName(p))
+		for wk := 0; wk < cfg.Weeks; wk++ {
+			promoted := rng.Float64() < 0.15
+			if promoted {
+				r.Promo = r.Promo.Insert(tuple.Tuple{pv, tuple.String(WeekName(wk))})
+			}
+			for s := 0; s < cfg.Stores; s++ {
+				mult := 0.5 + float64(s%5)*0.25
+				units := base * mult * (0.8 + rng.Float64()*0.4)
+				if promoted {
+					units *= 1.8
+				}
+				r.Sales = r.Sales.Insert(tuple.Tuple{
+					pv, tuple.String(StoreName(s)), tuple.String(WeekName(wk)),
+					tuple.Int(int64(units)),
+				})
+			}
+		}
+	}
+	return r
+}
+
+// ProductName renders a product identifier.
+func ProductName(i int) string { return fmt.Sprintf("sku%04d", i) }
+
+// StoreName renders a store identifier.
+func StoreName(i int) string { return fmt.Sprintf("store%03d", i) }
+
+// WeekName renders a week identifier.
+func WeekName(i int) string { return fmt.Sprintf("2015-W%02d", i) }
+
+// Relations returns the dataset keyed by the predicate names used in the
+// examples and benchmarks.
+func (r *Retail) Relations() map[string]relation.Relation {
+	return map[string]relation.Relation{
+		"Product":       r.Products,
+		"Store":         r.Stores,
+		"sales":         r.Sales,
+		"promo":         r.Promo,
+		"sellingPrice":  r.SellingPrice,
+		"buyingPrice":   r.BuyingPrice,
+		"spacePerProd":  r.SpacePerProd,
+		"profitPerProd": r.ProfitPerProd,
+		"minStock":      r.MinStock,
+		"maxStock":      r.MaxStock,
+	}
+}
+
+// ClassificationSet generates a labeled, separable-with-noise dataset for
+// the predict-rule experiments: Buy[store, customer] = 0/1 driven by two
+// numeric features.
+func ClassificationSet(stores, customers int, noise float64, seed int64) (buy, feature relation.Relation) {
+	rng := rand.New(rand.NewSource(seed))
+	buy = relation.New(3)     // Buy[store, customer] = label
+	feature = relation.New(3) // Feature[store, name] = value
+	for s := 0; s < stores; s++ {
+		sv := tuple.String(StoreName(s))
+		f1 := rng.Float64()*4 - 2
+		f2 := rng.Float64()*4 - 2
+		feature = feature.Insert(tuple.Tuple{sv, tuple.String("footfall"), tuple.Float(f1)})
+		feature = feature.Insert(tuple.Tuple{sv, tuple.String("income"), tuple.Float(f2)})
+		prob := 1 / (1 + math.Exp(-(2*f1 - f2)))
+		for c := 0; c < customers; c++ {
+			label := 0.0
+			if rng.Float64() < prob*(1-noise)+noise/2 {
+				label = 1
+			}
+			buy = buy.Insert(tuple.Tuple{sv, tuple.Int(int64(c)), tuple.Float(label)})
+		}
+	}
+	return buy, feature
+}
+
+func round2(x float64) float64 { return float64(int(x*100)) / 100 }

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"logicblox/internal/tuple"
+)
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	cfg := Config{Products: 10, Stores: 4, Weeks: 6, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !a.Sales.Equal(b.Sales) || !a.SellingPrice.Equal(b.SellingPrice) {
+		t.Fatalf("generation not deterministic")
+	}
+	if a.Products.Len() != 10 || a.Stores.Len() != 4 {
+		t.Fatalf("catalog sizes wrong: %d products, %d stores", a.Products.Len(), a.Stores.Len())
+	}
+	if a.Sales.Len() != 10*4*6 {
+		t.Fatalf("sales rows = %d, want %d", a.Sales.Len(), 10*4*6)
+	}
+}
+
+func TestGenerateProfitPositive(t *testing.T) {
+	r := Generate(Config{Products: 20, Stores: 1, Weeks: 1, Seed: 7})
+	r.ProfitPerProd.ForEach(func(tp tuple.Tuple) bool {
+		if tp[1].AsFloat() <= 0 {
+			t.Errorf("non-positive profit for %v", tp[0])
+		}
+		return true
+	})
+}
+
+func TestPromotionUplift(t *testing.T) {
+	r := Generate(Config{Products: 30, Stores: 3, Weeks: 20, Seed: 1})
+	// Average promoted sales should exceed average unpromoted sales.
+	promoted := map[string]bool{}
+	r.Promo.ForEach(func(tp tuple.Tuple) bool {
+		promoted[tp[0].AsString()+"|"+tp[1].AsString()] = true
+		return true
+	})
+	if len(promoted) == 0 {
+		t.Fatal("no promotions generated")
+	}
+	var pSum, pN, nSum, nN float64
+	r.Sales.ForEach(func(tp tuple.Tuple) bool {
+		units := float64(tp[3].AsInt())
+		if promoted[tp[0].AsString()+"|"+tp[2].AsString()] {
+			pSum += units
+			pN++
+		} else {
+			nSum += units
+			nN++
+		}
+		return true
+	})
+	if pSum/pN <= nSum/nN {
+		t.Fatalf("promotion uplift missing: promoted avg %.1f vs %.1f", pSum/pN, nSum/nN)
+	}
+}
+
+func TestRelationsMap(t *testing.T) {
+	r := Generate(Config{Products: 2, Stores: 2, Weeks: 2, Seed: 3})
+	m := r.Relations()
+	for _, name := range []string{"Product", "sales", "sellingPrice", "maxStock"} {
+		if rel, ok := m[name]; !ok || rel.IsEmpty() {
+			t.Errorf("relation %s missing or empty", name)
+		}
+	}
+}
+
+func TestClassificationSetSeparable(t *testing.T) {
+	buy, feat := ClassificationSet(30, 10, 0.1, 5)
+	if buy.Len() != 300 {
+		t.Fatalf("examples = %d", buy.Len())
+	}
+	if feat.Len() != 60 {
+		t.Fatalf("features = %d", feat.Len())
+	}
+	// Labels must not be constant.
+	ones := 0
+	buy.ForEach(func(tp tuple.Tuple) bool {
+		if tp[2].AsFloat() == 1 {
+			ones++
+		}
+		return true
+	})
+	if ones == 0 || ones == buy.Len() {
+		t.Fatalf("degenerate labels: %d of %d", ones, buy.Len())
+	}
+}

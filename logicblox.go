@@ -1,0 +1,89 @@
+// Package logicblox is a from-scratch Go implementation of the LogicBlox
+// system ("Design and Implementation of the LogicBlox System",
+// SIGMOD 2015): a unified declarative database programming system built
+// around LogiQL (a Datalog dialect), purely functional data structures,
+// worst-case-optimal leapfrog triejoin query processing, incremental view
+// maintenance, live programming via a meta-engine, lock-free concurrency
+// through transaction repair, and built-in prescriptive (LP/MIP) and
+// predictive (ML) analytics.
+//
+// The public API re-exports the workspace/transaction surface:
+//
+//	db := logicblox.Open()
+//	ws, _ := db.Workspace(logicblox.DefaultBranch)
+//	ws, _ = ws.AddBlock("schema", `
+//	    profit[sku] = sellingPrice[sku] - buyingPrice[sku] <- Product(sku).`)
+//	res, _ := ws.Exec(`+Product("eis"). +sellingPrice["eis"] = 3.0. +buyingPrice["eis"] = 1.0.`)
+//	rows, _ := res.Workspace.Query(`_(p, v) <- profit[p] = v.`)
+//	db.Commit(logicblox.DefaultBranch, res.Workspace)
+//
+// Lower-level building blocks (the treap and relation substrates, the
+// leapfrog triejoin, the incremental-maintenance strategies, transaction
+// repair, and the LP/MIP solver) live in the internal packages and are
+// exercised by the benchmark harness in bench_test.go and
+// cmd/lb-experiments.
+package logicblox
+
+import (
+	"io"
+
+	"logicblox/internal/core"
+	"logicblox/internal/relation"
+	"logicblox/internal/solver"
+	"logicblox/internal/tuple"
+)
+
+// Database manages named branches of workspaces with O(1) branching and
+// a time-travelable version history.
+type Database = core.Database
+
+// Workspace is one immutable version of the database: logic plus data.
+type Workspace = core.Workspace
+
+// ExecResult reports what an exec transaction changed.
+type ExecResult = core.ExecResult
+
+// ExecDelta is the per-predicate effect of an exec transaction.
+type ExecDelta = core.ExecDelta
+
+// VersionEntry records one committed workspace version.
+type VersionEntry = core.VersionEntry
+
+// Solution is the outcome of a prescriptive-analytics solve.
+type Solution = solver.Solution
+
+// Relation is an immutable set of tuples (persistent storage).
+type Relation = relation.Relation
+
+// Tuple is an ordered sequence of values.
+type Tuple = tuple.Tuple
+
+// Value is a scalar LogiQL value.
+type Value = tuple.Value
+
+// DefaultBranch is the branch created by Open.
+const DefaultBranch = core.DefaultBranch
+
+// Open creates a database with an empty workspace on the main branch.
+func Open() *Database { return core.NewDatabase() }
+
+// LoadDatabase restores a database from a snapshot written with
+// Database.Save; derived predicates are re-materialized (there is no
+// transaction log to replay — recovery is reloading the immutable state,
+// paper T4).
+func LoadDatabase(r io.Reader) (*Database, error) { return core.LoadDatabase(r) }
+
+// NewWorkspace returns an empty standalone workspace (no logic, no data),
+// for use without branch management.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
+
+// Value constructors, re-exported for building tuples programmatically.
+var (
+	Int     = tuple.Int
+	Float   = tuple.Float
+	String  = tuple.String
+	Bool    = tuple.Bool
+	Ints    = tuple.Ints
+	Strings = tuple.Strings
+	Of      = tuple.Of
+)
