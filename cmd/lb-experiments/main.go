@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	lb-experiments [-exp all|fig3|fig5|wco|branch|ivm|live|treap|repair|solve|predict] [-quick]
+//	lb-experiments [-exp all|fig3|fig5|wco|branch|ivm|live|treap|repair|solve|predict] [-quick] [-obs-json file]
+//
+// With -obs-json, a process-wide metrics registry is installed for the
+// run and its snapshot (counters, rule profiles, transaction histograms,
+// traces) is written as JSON to the given file ("-" for stdout).
 package main
 
 import (
@@ -14,6 +18,9 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"logicblox/internal/obs"
+	"logicblox/internal/relation"
 )
 
 type experiment struct {
@@ -43,7 +50,15 @@ func main() {
 	sort.Strings(names)
 	exp := flag.String("exp", "all", "experiment to run: all|"+strings.Join(names, "|"))
 	quick := flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+	obsJSON := flag.String("obs-json", "", `write the run's observability snapshot as JSON to this file ("-" for stdout)`)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *obsJSON != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+		relation.EnableStorageStats(true)
+	}
 
 	ran := false
 	for _, e := range experiments {
@@ -58,5 +73,21 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if reg != nil {
+		w := os.Stdout
+		if *obsJSON != "-" {
+			f, err := os.Create(*obsJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "obs-json:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "obs-json:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	lb [script.lb]
+//	lb [-stats] [-trace] [script.lb]
+//
+// With -stats, every transaction is followed by a per-rule profile table
+// (evaluation time, tuples produced, leapfrog seeks/nexts, sensitivity
+// records); with -trace, by a span tree of the transaction's phases.
+// :stats dumps the full metric snapshot of the last transaction.
 //
 // Commands (everything else is interpreted as LogiQL):
 //
@@ -32,6 +37,7 @@ package main
 import (
 	"bufio"
 	"encoding/csv"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -42,12 +48,17 @@ import (
 )
 
 func main() {
+	stats := flag.Bool("stats", false, "print a per-rule profile table after every transaction")
+	trace := flag.Bool("trace", false, "print a phase span tree after every transaction")
+	flag.Parse()
+
 	r := &repl{db: logicblox.Open(), branch: logicblox.DefaultBranch, out: os.Stdout}
+	r.enableObs(*stats, *trace)
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if args := flag.Args(); len(args) > 0 {
+		f, err := os.Open(args[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -64,6 +75,49 @@ type repl struct {
 	db     *logicblox.Database
 	branch string
 	out    io.Writer
+
+	// observability: reg is non-nil when -stats or -trace was given; the
+	// registry is reset at the start of every transaction so the printed
+	// profile covers exactly that transaction.
+	reg   *logicblox.ObsRegistry
+	stats bool
+	trace bool
+}
+
+// enableObs installs a process-wide metrics registry when profiling
+// output was requested.
+func (r *repl) enableObs(stats, trace bool) {
+	if !stats && !trace {
+		return
+	}
+	r.reg = logicblox.NewObsRegistry()
+	r.stats, r.trace = stats, trace
+	logicblox.SetDefaultObserver(r.reg)
+	logicblox.EnableStorageStats(true)
+}
+
+// beginTx clears per-transaction profiling state.
+func (r *repl) beginTx() {
+	if r.reg != nil {
+		r.reg.Reset()
+	}
+}
+
+// profile prints the requested profiling output for the transaction that
+// just ran.
+func (r *repl) profile() {
+	if r.reg == nil {
+		return
+	}
+	snap := r.reg.Snapshot()
+	if r.stats {
+		fmt.Fprint(r.out, logicblox.FormatRuleTable(snap))
+	}
+	if r.trace {
+		for _, t := range snap.Traces {
+			fmt.Fprint(r.out, logicblox.FormatSpanTree(t))
+		}
+	}
 }
 
 func (r *repl) run(in *bufio.Scanner, interactive bool) {
@@ -121,8 +175,16 @@ func (r *repl) command(line string, blockName *string) bool {
 		fmt.Fprintln(r.out, "commands: :addblock <name> <<  |  :removeblock <name>  |  :load <name> <file>")
 		fmt.Fprintln(r.out, "          :import <pred> <file.csv>")
 		fmt.Fprintln(r.out, "          :blocks  :rel <pred>  :branch <from> <to>  :checkout <br>  :branches")
-		fmt.Fprintln(r.out, "          :solve  :quit")
+		fmt.Fprintln(r.out, "          :solve  :stats  :quit")
 		fmt.Fprintln(r.out, "queries:  ?- _(x) <- p(x).        exec:  +p(\"a\").")
+	case ":stats":
+		if r.reg == nil {
+			fmt.Fprintln(r.out, "profiling is off — start lb with -stats or -trace")
+			break
+		}
+		snap := r.reg.Snapshot()
+		fmt.Fprint(r.out, logicblox.FormatRuleTable(snap))
+		fmt.Fprint(r.out, logicblox.FormatCounters(snap))
 	case ":addblock":
 		if len(fields) < 3 || fields[2] != "<<" {
 			fmt.Fprintln(r.out, "usage: :addblock <name> <<")
@@ -273,6 +335,8 @@ func (r *repl) command(line string, blockName *string) bool {
 }
 
 func (r *repl) installBlock(name, src string) {
+	r.beginTx()
+	defer r.profile()
 	ws := must(r.db.Workspace(r.branch))
 	next, err := ws.AddBlock(name, src)
 	if err != nil {
@@ -284,6 +348,8 @@ func (r *repl) installBlock(name, src string) {
 }
 
 func (r *repl) exec(src string) {
+	r.beginTx()
+	defer r.profile()
 	ws := must(r.db.Workspace(r.branch))
 	res, err := ws.Exec(src)
 	if err != nil {
@@ -299,6 +365,8 @@ func (r *repl) exec(src string) {
 }
 
 func (r *repl) query(src string) {
+	r.beginTx()
+	defer r.profile()
 	ws := must(r.db.Workspace(r.branch))
 	rows, err := ws.Query(src)
 	if err != nil {

@@ -177,3 +177,60 @@ n(x) -> int(x).
 		t.Errorf("snapshot state wrong:\n%s", out)
 	}
 }
+
+// runScriptObs is runScript with -stats / -trace profiling enabled.
+func runScriptObs(t *testing.T, stats, trace bool, script string) string {
+	t.Helper()
+	var out strings.Builder
+	r := &repl{db: logicblox.Open(), branch: logicblox.DefaultBranch, out: &out}
+	r.enableObs(stats, trace)
+	defer logicblox.SetDefaultObserver(nil)
+	r.run(bufio.NewScanner(strings.NewReader(script)), false)
+	return out.String()
+}
+
+func TestReplStatsTable(t *testing.T) {
+	out := runScriptObs(t, true, false, `
+:addblock s <<
+path(x, y) <- edge(x, y).
+path(x, z) <- path(x, y), edge(y, z).
+>>
++edge(1, 2). +edge(2, 3).
+?- _(x, y) <- path(x, y).
+:stats
+`)
+	// Each transaction is followed by a per-rule profile table.
+	for _, want := range []string{"RULE HEAD", "SEEKS", "NEXTS", "TOTAL", "path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	// The recursive rule must show leapfrog work in some table row.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "path") && !strings.Contains(line, "0         0         0 ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no path row with nonzero join counters:\n%s", out)
+	}
+	// :stats additionally dumps counters for the last transaction.
+	if !strings.Contains(out, "tx.query.commit") {
+		t.Errorf(":stats missing counters:\n%s", out)
+	}
+}
+
+func TestReplTraceTree(t *testing.T) {
+	out := runScriptObs(t, false, true, `
+:addblock s <<
+q(x) <- p(x).
+>>
++p(1).
+`)
+	for _, want := range []string{"tx.addblock", "tx.exec", "rederive", "rule:q", "base_ins=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}

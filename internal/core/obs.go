@@ -1,0 +1,57 @@
+package core
+
+import (
+	"time"
+
+	"logicblox/internal/obs"
+	"logicblox/internal/relation"
+)
+
+// WithObserver returns a workspace whose transactions record into reg
+// (nil reverts to the process default, obs.Default). The observer is
+// inherited by branches and subsequent versions, so installing it once
+// on a branch head profiles the whole history that follows.
+func (ws *Workspace) WithObserver(reg *obs.Registry) *Workspace {
+	cp := *ws
+	cp.obs = reg
+	return &cp
+}
+
+// Observer returns the registry this workspace's transactions record
+// into: the one installed with WithObserver, else the process default
+// (which may be nil — observability off).
+func (ws *Workspace) Observer() *obs.Registry {
+	if ws.obs != nil {
+		return ws.obs
+	}
+	return obs.Default()
+}
+
+// txSpan opens a transaction-level root span and returns it along with
+// a completion func that records the outcome (tx.<kind>.commit or
+// tx.<kind>.abort), samples tx.<kind>.duration, and — when storage
+// stats are enabled — refreshes the treap work gauges. Both returns are
+// valid no-ops when no observer is attached.
+func (ws *Workspace) txSpan(kind string) (*obs.Span, func(error)) {
+	reg := ws.Observer()
+	if reg == nil {
+		return nil, func(error) {}
+	}
+	sp := reg.StartSpan("tx." + kind)
+	t0 := time.Now()
+	return sp, func(err error) {
+		outcome := ".commit"
+		if err != nil {
+			outcome = ".abort"
+			sp.SetAttr("abort", 1)
+		}
+		sp.End()
+		reg.Counter("tx." + kind + outcome).Add(1)
+		reg.Histogram("tx." + kind + ".duration").Observe(time.Since(t0))
+		if relation.StorageStatsEnabled() {
+			st := relation.ReadStorageStats()
+			reg.Gauge("treap.nodes_allocated").Set(st.NodesAllocated)
+			reg.Gauge("treap.shared_subtrees").Set(st.SharedSubtrees)
+		}
+	}
+}

@@ -140,7 +140,7 @@ func RestoreWorkspace(blocks map[string]string, base map[string][]tuple.Tuple, a
 	for _, name := range compiled.IDBPreds {
 		dirty[name] = true
 	}
-	out, err := ws.rederive(dirty)
+	out, err := ws.rederive(dirty, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -35,7 +35,7 @@ func (ws *Workspace) Solve() (*Workspace, *solver.Solution, error) {
 		out.base = out.base.Set(pred, rel)
 		dirty[pred] = true
 	}
-	res, err := out.rederive(dirty)
+	res, err := out.rederive(dirty, nil)
 	if err != nil {
 		return nil, sol, err
 	}

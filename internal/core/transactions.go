@@ -7,6 +7,7 @@ import (
 	"logicblox/internal/compiler"
 	"logicblox/internal/engine"
 	"logicblox/internal/meta"
+	"logicblox/internal/obs"
 	"logicblox/internal/parser"
 	"logicblox/internal/relation"
 	"logicblox/internal/tuple"
@@ -43,11 +44,22 @@ func (ws *Workspace) RemoveBlock(name string) (*Workspace, error) {
 // reinstall recompiles the workspace logic after a block change and
 // re-materializes exactly the dirty predicates.
 func (ws *Workspace) reinstall(name, src string, parsed *ast.Program, newParsed map[string]*ast.Program) (*Workspace, error) {
+	sp, done := ws.txSpan("addblock")
+	out, err := ws.reinstallTraced(name, src, parsed, newParsed, sp)
+	done(err)
+	return out, err
+}
+
+func (ws *Workspace) reinstallTraced(name, src string, parsed *ast.Program, newParsed map[string]*ast.Program, sp *obs.Span) (*Workspace, error) {
+	csp := sp.Child("compile")
 	compiled, err := compileBlocks(newParsed)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
+	asp := sp.Child("analyze")
 	analysis, err := meta.Analyze(ws.parsedBlocks(), newParsed)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -89,11 +101,14 @@ func (ws *Workspace) reinstall(name, src string, parsed *ast.Program, newParsed 
 	for _, p := range analysis.DropPreds {
 		dirty[p] = true // downstream readers of a dropped view must see it empty
 	}
-	out, err = out.rederive(dirty)
+	out, err = out.rederive(dirty, sp)
 	if err != nil {
 		return nil, err
 	}
-	if err := out.checkConstraints(); err != nil {
+	ksp := sp.Child("constraints")
+	err = out.checkConstraints()
+	ksp.End()
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -124,29 +139,46 @@ type ExecDelta struct {
 // On constraint violation the transaction aborts: the receiver workspace
 // is untouched (it is just a value) and an error is returned.
 func (ws *Workspace) Exec(src string) (*ExecResult, error) {
+	sp, done := ws.txSpan("exec")
+	res, err := ws.exec(src, sp)
+	done(err)
+	return res, err
+}
+
+func (ws *Workspace) exec(src string, sp *obs.Span) (*ExecResult, error) {
+	psp := sp.Child("parse")
 	eprog, err := parser.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("exec parse: %w", err)
 	}
+	csp := sp.Child("compile")
 	combined, err := compileBlocks(ws.parsedBlocks(), eprog)
+	csp.End()
 	if err != nil {
 		return nil, fmt.Errorf("exec compile: %w", err)
 	}
 
 	// Seed the evaluation context: current contents plus @start versions.
 	rels := ws.relations()
-	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize})
+	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize, Obs: ws.Observer()})
 	for p := range combined.Preds {
 		ctx.Set(p+compiler.DecorAtStart, ws.Relation(p))
 	}
 
 	// Evaluate reactive strata.
+	esp := sp.Child("eval.reactive")
+	ctx.SetSpan(esp)
 	for _, stratum := range combined.ReactiveStrata {
 		if err := ctx.EvalStratum(stratum); err != nil {
+			esp.End()
 			return nil, fmt.Errorf("exec: %w", err)
 		}
 	}
+	ctx.SetSpan(nil)
+	esp.End()
 
+	fsp := sp.Child("frame")
 	// Expand ^R upserts: replace the functional value for the key, i.e.
 	// delete the old binding (if different) and insert the new one.
 	for p, info := range combined.Preds {
@@ -220,14 +252,26 @@ func (ws *Workspace) Exec(src string) (*ExecResult, error) {
 		}
 	}
 
+	fsp.End()
+	var ins, del int64
+	for _, d := range deltas {
+		ins += int64(len(d.Ins))
+		del += int64(len(d.Del))
+	}
+	sp.SetAttr("base_ins", ins)
+	sp.SetAttr("base_del", del)
+
 	if len(dirty) == 0 {
 		return &ExecResult{Workspace: ws, BaseDeltas: deltas}, nil
 	}
-	res, err := out.rederive(dirty)
+	res, err := out.rederive(dirty, sp)
 	if err != nil {
 		return nil, err
 	}
-	if err := res.checkConstraints(); err != nil {
+	ksp := sp.Child("constraints")
+	err = res.checkConstraints()
+	ksp.End()
+	if err != nil {
 		return nil, err
 	}
 	return &ExecResult{Workspace: res, BaseDeltas: deltas}, nil
@@ -246,6 +290,15 @@ func (ws *Workspace) Delete(pred string, tuples ...tuple.Tuple) (*Workspace, err
 }
 
 func (ws *Workspace) applyDirect(pred string, ins, del []tuple.Tuple) (*Workspace, error) {
+	sp, done := ws.txSpan("exec")
+	sp.SetAttr("base_ins", int64(len(ins)))
+	sp.SetAttr("base_del", int64(len(del)))
+	out, err := ws.applyDirectTraced(pred, ins, del, sp)
+	done(err)
+	return out, err
+}
+
+func (ws *Workspace) applyDirectTraced(pred string, ins, del []tuple.Tuple, sp *obs.Span) (*Workspace, error) {
 	info, ok := ws.prog.Preds[pred]
 	if ok && !info.EDB {
 		return nil, fmt.Errorf("cannot modify derived predicate %s", pred)
@@ -266,11 +319,14 @@ func (ws *Workspace) applyDirect(pred string, ins, del []tuple.Tuple) (*Workspac
 	}
 	out := ws.clone()
 	out.base = out.base.Set(pred, next)
-	res, err := out.rederive(map[string]bool{pred: true})
+	res, err := out.rederive(map[string]bool{pred: true}, sp)
 	if err != nil {
 		return nil, err
 	}
-	if err := res.checkConstraints(); err != nil {
+	ksp := sp.Child("constraints")
+	err = res.checkConstraints()
+	ksp.End()
+	if err != nil {
 		return nil, err
 	}
 	return res, nil

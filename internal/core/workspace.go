@@ -15,6 +15,7 @@ import (
 	"logicblox/internal/compiler"
 	"logicblox/internal/engine"
 	"logicblox/internal/ml"
+	"logicblox/internal/obs"
 	"logicblox/internal/parser"
 	"logicblox/internal/pmap"
 	"logicblox/internal/relation"
@@ -32,7 +33,8 @@ type Workspace struct {
 	derived  pmap.Map[relation.Relation] // derived predicate contents
 	models   *ml.Registry                // model store (append-only, shared across versions)
 	version  uint64
-	optimize bool // sampling-based join-order optimization (paper §3.2)
+	optimize bool          // sampling-based join-order optimization (paper §3.2)
+	obs      *obs.Registry // transaction profiling target (nil → obs.Default)
 }
 
 // NewWorkspace returns an empty workspace with no logic and no data.
@@ -137,9 +139,23 @@ func stratumKey(head string) string { return "rec\x00" + head }
 // the change propagates through the execution graph, and rules none of
 // whose dependencies changed reuse their stored results — the engine-side
 // half of live programming (paper Figure 6).
-func (ws *Workspace) rederive(dirty map[string]bool) (*Workspace, error) {
+func (ws *Workspace) rederive(dirty map[string]bool, parent *obs.Span) (*Workspace, error) {
 	out := ws.clone()
-	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize})
+	reg := ws.Observer()
+	sp := parent.Child("rederive")
+	sp.SetAttr("dirty", int64(len(dirty)))
+	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize, Obs: reg})
+	ctx.SetSpan(sp)
+	var evals, reused int64
+	defer func() {
+		sp.SetAttr("rules_evaluated", evals)
+		sp.SetAttr("rules_reused", reused)
+		sp.End()
+		if evals+reused > 0 {
+			reg.Counter("core.rederive.rules_evaluated").Add(evals)
+			reg.Counter("core.rederive.rules_reused").Add(reused)
+		}
+	}()
 	changed := dirty
 
 	for _, stratum := range out.prog.Strata {
@@ -181,8 +197,10 @@ func (ws *Workspace) rederive(dirty map[string]bool) (*Workspace, error) {
 				}
 			}
 			if !any {
+				reused += int64(len(stratum))
 				continue
 			}
+			evals += int64(len(stratum))
 			origin := map[string]relation.Relation{}
 			for h := range heads {
 				origin[h] = out.Relation(h)
@@ -206,8 +224,10 @@ func (ws *Workspace) rederive(dirty map[string]bool) (*Workspace, error) {
 		for _, r := range stratum {
 			key := ruleKey(r)
 			if _, have := out.ruleRes.Get(key); have && !touched(r) {
+				reused++
 				continue
 			}
+			evals++
 			res, err := ctx.EvalRule(r, nil)
 			if err != nil {
 				return nil, err
@@ -247,7 +267,7 @@ func (ws *Workspace) rederive(dirty map[string]bool) (*Workspace, error) {
 // solve, so they are enforced only once the free predicate has been
 // populated.
 func (ws *Workspace) checkConstraints() error {
-	ctx := engine.NewContext(ws.prog, ws.relations(), engine.Options{Models: ws.models})
+	ctx := engine.NewContext(ws.prog, ws.relations(), engine.Options{Models: ws.models, Obs: ws.Observer()})
 	deferred := map[string]bool{}
 	if ws.prog.Solve != nil {
 		for _, v := range ws.prog.Solve.Variables {
@@ -293,15 +313,28 @@ func (ws *Workspace) checkConstraints() error {
 // tuples. The workspace is unchanged (queries are read-only and run on
 // the branch's snapshot, paper §3.1).
 func (ws *Workspace) Query(src string) ([]tuple.Tuple, error) {
+	sp, done := ws.txSpan("query")
+	out, err := ws.query(src, sp)
+	done(err)
+	return out, err
+}
+
+func (ws *Workspace) query(src string, sp *obs.Span) ([]tuple.Tuple, error) {
+	psp := sp.Child("parse")
 	qprog, err := parser.Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("query parse: %w", err)
 	}
+	csp := sp.Child("compile")
 	combined, err := compileBlocks(ws.parsedBlocks(), qprog)
+	csp.End()
 	if err != nil {
 		return nil, fmt.Errorf("query compile: %w", err)
 	}
-	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize})
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Obs: ws.Observer()})
+	esp := sp.Child("eval")
+	ctx.SetSpan(esp)
 	// Evaluate only predicates that are not already materialized in the
 	// workspace (i.e. the query's own derivations).
 	for _, stratum := range combined.Strata {
@@ -315,10 +348,14 @@ func (ws *Workspace) Query(src string) ([]tuple.Tuple, error) {
 			continue
 		}
 		if err := ctx.EvalStratum(fresh); err != nil {
+			esp.End()
 			return nil, err
 		}
 	}
-	return ctx.Relation("_").Slice(), nil
+	esp.End()
+	res := ctx.Relation("_").Slice()
+	sp.SetAttr("answers", int64(len(res)))
+	return res, nil
 }
 
 // Load is a convenience for seeding base predicates in bulk (outside the
@@ -343,7 +380,7 @@ func (ws *Workspace) Load(name string, tuples []tuple.Tuple) (*Workspace, error)
 	}
 	out := ws.clone()
 	out.base = out.base.Set(name, rel)
-	res, err := out.rederive(map[string]bool{name: true})
+	res, err := out.rederive(map[string]bool{name: true}, nil)
 	if err != nil {
 		return nil, err
 	}

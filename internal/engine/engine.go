@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"logicblox/internal/compiler"
 	"logicblox/internal/lftj"
 	"logicblox/internal/ml"
+	"logicblox/internal/obs"
 	"logicblox/internal/optimizer"
 	"logicblox/internal/relation"
 	"logicblox/internal/trie"
@@ -37,34 +39,49 @@ type Options struct {
 	// parallelization of queries and views, paper T1). Ignored while a
 	// sensitivity index is recording.
 	Parallel int
+	// Obs, if non-nil, receives per-rule profiles (eval time, tuples
+	// produced, LFTJ seek/next counts), per-stratum spans, and fixpoint
+	// counters. When nil, the process-wide obs.Default() registry is used
+	// if one is installed; otherwise instrumentation is off and costs one
+	// pointer test per rule evaluation.
+	Obs *obs.Registry
 }
 
 // Context is an evaluation context: a compiled program plus the current
 // contents of every named relation (base, derived, delta, @start).
 type Context struct {
-	Prog     *compiler.Program
-	rels     map[string]relation.Relation
-	perms    map[string]relation.Relation // secondary-index cache
-	models   *ml.Registry
-	sens     *lftj.SensitivityIndex
-	optimize bool
-	parallel int
-	mu       sync.Mutex                 // guards perms and plans during parallel evaluation
-	plans    map[int]*compiler.RulePlan // optimizer decisions, by rule ID
+	Prog      *compiler.Program
+	rels      map[string]relation.Relation
+	perms     map[string]relation.Relation // secondary-index cache
+	models    *ml.Registry
+	sens      *lftj.SensitivityIndex
+	optimize  bool
+	parallel  int
+	obs       *obs.Registry              // nil = instrumentation off
+	span      *obs.Span                  // parent for stratum spans (may be nil)
+	mu        sync.Mutex                 // guards perms, plans and ruleStats during parallel evaluation
+	plans     map[int]*compiler.RulePlan // optimizer decisions, by rule ID
+	ruleStats map[int]*obs.RuleStats     // cached per-rule profile handles
 }
 
 // NewContext builds a context over base relation contents (keyed by
 // decorated name; usually plain base-predicate names).
 func NewContext(prog *compiler.Program, base map[string]relation.Relation, opts Options) *Context {
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
 	c := &Context{
-		Prog:     prog,
-		rels:     make(map[string]relation.Relation, len(base)+8),
-		perms:    map[string]relation.Relation{},
-		models:   opts.Models,
-		sens:     opts.Sens,
-		optimize: opts.Optimize,
-		parallel: opts.Parallel,
-		plans:    map[int]*compiler.RulePlan{},
+		Prog:      prog,
+		rels:      make(map[string]relation.Relation, len(base)+8),
+		perms:     map[string]relation.Relation{},
+		models:    opts.Models,
+		sens:      opts.Sens,
+		optimize:  opts.Optimize,
+		parallel:  opts.Parallel,
+		obs:       reg,
+		plans:     map[int]*compiler.RulePlan{},
+		ruleStats: map[int]*obs.RuleStats{},
 	}
 	for name, r := range base {
 		c.rels[name] = r
@@ -110,6 +127,15 @@ func (c *Context) arityOf(name string) int {
 // EvalAll evaluates every static stratum in order, materializing all
 // derived predicates.
 func (c *Context) EvalAll() error {
+	if c.obs != nil && c.span == nil {
+		sp := c.obs.StartSpan("engine.eval")
+		sp.SetAttr("strata", int64(len(c.Prog.Strata)))
+		c.span = sp
+		defer func() {
+			c.span = nil
+			sp.End()
+		}()
+	}
 	for _, stratum := range c.Prog.Strata {
 		if err := c.EvalStratum(stratum); err != nil {
 			return err
@@ -136,6 +162,13 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 		}
 	}
 
+	sp := c.span.Child("stratum")
+	sp.SetAttr("rules", int64(len(rules)))
+	if recursive {
+		sp.SetAttr("recursive", 1)
+	}
+	defer sp.End()
+
 	// First pass: full evaluation — in parallel across the stratum's
 	// rules when enabled (they are independent: all read lower strata).
 	deltas := map[string]relation.Relation{}
@@ -150,7 +183,15 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 			go func(i int, r *compiler.RulePlan) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				var rsp *obs.Span
+				if sp != nil {
+					rsp = sp.Child("rule:" + r.HeadName)
+				}
 				results[i], errs[i] = c.evalRule(r, nil)
+				if rsp != nil {
+					rsp.SetAttr("tuples", int64(results[i].Len()))
+					rsp.End()
+				}
 			}(i, r)
 		}
 		wg.Wait()
@@ -161,9 +202,17 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 		}
 	} else {
 		for i, r := range rules {
+			var rsp *obs.Span
+			if sp != nil {
+				rsp = sp.Child("rule:" + r.HeadName)
+			}
 			derived, err := c.evalRule(r, nil)
 			if err != nil {
 				return err
+			}
+			if rsp != nil {
+				rsp.SetAttr("tuples", int64(derived.Len()))
+				rsp.End()
 			}
 			results[i] = derived
 		}
@@ -186,7 +235,15 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 	}
 
 	// Fixpoint rounds.
+	rounds := int64(0)
+	defer func() {
+		if rounds > 0 {
+			sp.SetAttr("fixpoint_rounds", rounds)
+			c.obs.Counter("engine.fixpoint.rounds").Add(rounds)
+		}
+	}()
 	for len(deltas) > 0 {
+		rounds++
 		next := map[string]relation.Relation{}
 		for _, r := range rules {
 			// For each occurrence of a predicate that changed last round,
@@ -230,6 +287,16 @@ func (c *Context) evalRule(r *compiler.RulePlan, atomOverride map[int]relation.R
 		r = c.optimizedPlan(r)
 	}
 	out := relation.New(r.HeadArity)
+	if rs := c.ruleStatsFor(r); rs != nil {
+		t0 := time.Now()
+		defer func() {
+			if atomOverride == nil {
+				rs.AddEval(time.Since(t0), int64(out.Len()))
+			} else {
+				rs.AddDeltaEval(time.Since(t0), int64(out.Len()))
+			}
+		}()
+	}
 	resolver := ctxResolver{c}
 	var agg *aggAccum
 	if r.Agg != nil {
@@ -364,6 +431,11 @@ func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.
 	j, err := lftj.NewJoin(r.NumJoinVars, atoms, c.sens)
 	if err != nil {
 		return fmt.Errorf("in rule %q: %w", r.Source, err)
+	}
+	if rs := c.ruleStatsFor(r); rs != nil {
+		m := &lftj.Metrics{}
+		j.SetMetrics(m)
+		defer func() { rs.AddJoin(m.Seeks, m.Nexts, m.SensRecords) }()
 	}
 	var innerErr error
 	j.Run(func(b tuple.Tuple) bool {

@@ -3,6 +3,7 @@ package engine
 import (
 	"logicblox/internal/compiler"
 	"logicblox/internal/lftj"
+	"logicblox/internal/obs"
 	"logicblox/internal/relation"
 	"logicblox/internal/tuple"
 )
@@ -12,7 +13,18 @@ import (
 // the entry point used by the incremental-maintenance layer for delta
 // rules.
 func (c *Context) EvalRule(r *compiler.RulePlan, overrides map[int]relation.Relation) (relation.Relation, error) {
-	return c.evalRule(r, overrides)
+	var sp *obs.Span
+	if c.span != nil {
+		sp = c.span.Child("rule:" + r.HeadName)
+	}
+	out, err := c.evalRule(r, overrides)
+	if sp != nil {
+		if err == nil {
+			sp.SetAttr("tuples", int64(out.Len()))
+		}
+		sp.End()
+	}
+	return out, err
 }
 
 // EnumerateRuleHeads runs the rule body (with optional per-atom overrides)

@@ -131,6 +131,7 @@ func (m *Maintainer) Relation(name string) relation.Relation { return m.ctx.Rela
 // derived).
 func (m *Maintainer) Apply(deltas map[string]Delta) (map[string]Delta, error) {
 	m.Stats = Stats{}
+	defer m.observeApply(deltas)()
 	acc := map[string]Delta{}
 	old := map[string]relation.Relation{}
 	// Apply base deltas, remembering old versions.

@@ -1,0 +1,80 @@
+package ivm
+
+import (
+	"testing"
+
+	"logicblox/internal/obs"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// TestMaintainerObservability checks that maintenance passes publish
+// ivm.* counters, a per-pass span, and an apply-duration histogram.
+func TestMaintainerObservability(t *testing.T) {
+	prog := mustProgram(t, `q(x, z) <- e(x, y), e(y, z).`)
+	base := map[string]relation.Relation{
+		"e": relation.FromTuples(2, []tuple.Tuple{tuple.Ints(1, 2), tuple.Ints(2, 3)}),
+	}
+	m, err := NewMaintainer(prog, base, Sensitivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.SetObserver(reg)
+	if m.Observer() != reg {
+		t.Fatal("SetObserver not visible")
+	}
+
+	if _, err := m.Apply(map[string]Delta{"e": {Ins: []tuple.Tuple{tuple.Ints(3, 4)}}}); err != nil {
+		t.Fatal(err)
+	}
+	// An empty batch is not counted as a pass.
+	if _, err := m.Apply(map[string]Delta{"e": {}}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if s.Counters["ivm.applies"] != 2 {
+		t.Fatalf("ivm.applies = %d, want 2: %v", s.Counters["ivm.applies"], s.Counters)
+	}
+	if s.Counters["ivm.delta.ins"] != 1 || s.Counters["ivm.delta.del"] != 0 {
+		t.Fatalf("delta counters = %v", s.Counters)
+	}
+	if s.Counters["ivm.rules.evaluated"] == 0 {
+		t.Fatalf("no maintenance evaluations counted: %v", s.Counters)
+	}
+	if s.Histograms["ivm.apply.duration"].Count != 2 {
+		t.Fatalf("apply histogram = %+v", s.Histograms["ivm.apply.duration"])
+	}
+	tr, ok := reg.LastTrace()
+	if !ok || tr.Name != "ivm.apply.sensitivity" {
+		t.Fatalf("last trace = %+v ok=%v", tr, ok)
+	}
+}
+
+// TestSensitivitySkipsCounted checks that the sensitivity filter's skips
+// reach the registry.
+func TestSensitivitySkipsCounted(t *testing.T) {
+	prog := mustProgram(t, `
+		q(x, z) <- e(x, y), e(y, z).
+		r(x) <- f(x).`)
+	base := map[string]relation.Relation{
+		"e": relation.FromTuples(2, []tuple.Tuple{tuple.Ints(1, 2)}),
+		"f": relation.FromTuples(1, []tuple.Tuple{tuple.Ints(7)}),
+	}
+	m, err := NewMaintainer(prog, base, Sensitivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m.SetObserver(reg)
+	// A change far from any recorded interval of q's join, and nothing
+	// touching f: the f-rule must be skipped.
+	if _, err := m.Apply(map[string]Delta{"e": {Ins: []tuple.Tuple{tuple.Ints(100, 200)}}}); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["ivm.rules.skipped"] == 0 {
+		t.Fatalf("no skips counted: %v", s.Counters)
+	}
+}

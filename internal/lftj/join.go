@@ -30,6 +30,7 @@ type Join struct {
 	iters   [][]trie.Iterator // reusable iterator slices per variable
 	binding tuple.Tuple       // current prefix of variable bindings
 	rec     *recording
+	m       *Metrics // optional work counters (may be nil)
 }
 
 // NewJoin validates the atoms and builds a join over numVars variables
@@ -100,7 +101,7 @@ func (j *Join) run(v int, emit func(tuple.Tuple) bool) bool {
 		}
 		iters[i] = it
 	}
-	lf := Leapfrog{iters: iters, rec: j.rec}
+	lf := Leapfrog{iters: iters, rec: j.rec, m: j.m}
 	lf.init()
 	cont := true
 	for cont && !lf.AtEnd() {

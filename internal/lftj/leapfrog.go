@@ -24,6 +24,7 @@ type Leapfrog struct {
 	key   tuple.Value
 	atEnd bool
 	rec   *recording // optional sensitivity recording context (may be nil)
+	m     *Metrics   // optional work counters (may be nil)
 }
 
 // NewLeapfrog initializes a leapfrog join over the given iterators, which
@@ -88,6 +89,9 @@ func (l *Leapfrog) Next() {
 	it := l.iters[l.p]
 	prev := it.Key()
 	it.Next()
+	if l.m != nil {
+		l.m.Nexts++
+	}
 	if it.AtEnd() {
 		l.record(it, prev, tuple.Value{}, true)
 		l.atEnd = true
@@ -115,6 +119,9 @@ func (l *Leapfrog) Seek(v tuple.Value) {
 
 func (l *Leapfrog) seekIter(it trie.Iterator, v tuple.Value) {
 	it.Seek(v)
+	if l.m != nil {
+		l.m.Seeks++
+	}
 	if it.AtEnd() {
 		l.record(it, v, tuple.Value{}, true)
 	} else {

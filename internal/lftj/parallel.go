@@ -124,6 +124,15 @@ func Quantiles(sample relation.Relation, parts int) []tuple.Value {
 // PartitionedCount / PartitionedCollect.
 func PartitionedRun(numVars int, mkAtoms func() []Atom, cuts []tuple.Value,
 	workers int, emit func(binding tuple.Tuple) bool) error {
+	return PartitionedRunMetrics(numVars, mkAtoms, cuts, workers, nil, emit)
+}
+
+// PartitionedRunMetrics is PartitionedRun with work counting: each
+// partition counts into its own local Metrics, and the totals are folded
+// into m (when non-nil) after all partitions finish, so the per-partition
+// hot loops stay free of shared atomic counters.
+func PartitionedRunMetrics(numVars int, mkAtoms func() []Atom, cuts []tuple.Value,
+	workers int, m *Metrics, emit func(binding tuple.Tuple) bool) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -131,6 +140,7 @@ func PartitionedRun(numVars int, mkAtoms func() []Atom, cuts []tuple.Value,
 	errs := make([]error, len(bounds))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
+	parts := make([]Metrics, len(bounds))
 	for i, b := range bounds {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -146,10 +156,18 @@ func PartitionedRun(numVars int, mkAtoms func() []Atom, cuts []tuple.Value,
 				errs[i] = err
 				return
 			}
+			if m != nil {
+				j.SetMetrics(&parts[i])
+			}
 			j.Run(emit)
 		}(i, b[0], b[1])
 	}
 	wg.Wait()
+	if m != nil {
+		for i := range parts {
+			m.Merge(parts[i])
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

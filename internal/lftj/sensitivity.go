@@ -37,7 +37,7 @@ func (iv Interval) Covers(t tuple.Tuple) bool {
 func (iv Interval) String() string {
 	var b strings.Builder
 	b.WriteByte('[')
-	if iv.Prefix != nil {
+	if len(iv.Prefix) > 0 {
 		b.WriteString(iv.Prefix.String())
 		b.WriteByte(' ')
 	}
@@ -234,7 +234,14 @@ func newRecording(j *Join, idx *SensitivityIndex) *recording {
 
 // record notes that iterator it moved within [lo, hi] (hi open-ended when
 // openEnded) at its current depth, under the atom's current ancestor keys.
+// The nil *recording is a valid no-op, so callers on paths where no
+// recorder is attached pay a pointer test instead of building the
+// interval (the prefix allocation below must never happen without a
+// recorder).
 func (r *recording) record(it trie.Iterator, lo, hi tuple.Value, openEnded bool) {
+	if r == nil {
+		return
+	}
 	a, ok := r.atom[it]
 	if !ok {
 		return
@@ -243,13 +250,19 @@ func (r *recording) record(it trie.Iterator, lo, hi tuple.Value, openEnded bool)
 	if d < 0 {
 		return
 	}
-	prefix := make(tuple.Tuple, d)
-	for i := 0; i < d; i++ {
-		prefix[i] = r.j.binding[a.Vars[i]]
+	var prefix tuple.Tuple
+	if d > 0 {
+		prefix = make(tuple.Tuple, d)
+		for i := 0; i < d; i++ {
+			prefix[i] = r.j.binding[a.Vars[i]]
+		}
 	}
 	if openEnded {
 		hi = tuple.MaxValue()
 	}
 	r.idx.byPred[a.Pred] = append(r.idx.byPred[a.Pred], Interval{Prefix: prefix, Lo: lo, Hi: hi})
 	r.idx.dirty = true
+	if r.j.m != nil {
+		r.j.m.SensRecords++
+	}
 }

@@ -1,0 +1,42 @@
+// Package obs is the engine-wide observability layer: a lightweight,
+// allocation-conscious metrics and tracing substrate shared by every hot
+// layer of the system (engine evaluation, leapfrog triejoin, incremental
+// maintenance, transactions, and the persistent-storage substrate).
+//
+// # Design
+//
+// The central type is the Registry. A Registry hands out named metric
+// handles — Counter (monotone), Gauge (last-value), Histogram (duration
+// distribution) — plus per-rule profile records (RuleStats) and
+// hierarchical Spans. Everything is safe for concurrent use.
+//
+// The layer is built to cost nothing when disabled: a nil *Registry is a
+// valid no-op registry, and every handle it returns (nil *Counter, nil
+// *Gauge, nil *Histogram, nil *RuleStats, nil *Span) is itself a valid
+// no-op. Call sites therefore never branch on "is observability on" —
+// they just call through, and the nil receiver turns the call into a
+// single compare-and-return. Hot loops (the per-seek counters inside a
+// leapfrog run) use plain local int64 metrics owned by one goroutine and
+// fold them into shared atomic counters once per rule evaluation.
+//
+// # Metric namespace
+//
+// Names are dot-separated, lowest-frequency component first:
+//
+//	engine.*   evaluation (strata, fixpoint rounds)
+//	lftj.*     join work (seeks, nexts, sensitivity recordings)
+//	ivm.*      incremental maintenance (delta sizes, rederivations)
+//	tx.*       transactions (commit/abort/phase timings)
+//	treap.*    storage substrate (node copies, shared-subtree hits)
+//
+// docs/observability.md lists every metric the engine emits and how to
+// read the --stats profile table.
+//
+// # Snapshots and traces
+//
+// Snapshot() captures all counters, gauges, histograms, rule profiles and
+// recently finished trace roots as plain structured values; WriteJSON
+// emits the same snapshot as an expvar-style JSON document. FormatRuleTable
+// renders the per-rule profile table printed by `lb --stats`;
+// FormatSpanTree renders the hierarchical trace printed by `lb --trace`.
+package obs

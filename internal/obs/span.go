@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one node of a hierarchical trace: a named, timed region of work
+// with integer attributes and child spans. Spans are created with
+// Registry.StartSpan (roots) and Span.Child, and closed with End; a root
+// span enters the registry's trace ring when it ends. The nil *Span is a
+// valid no-op, so call sites never branch on whether tracing is enabled.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+	dur   time.Duration
+
+	mu       sync.Mutex
+	attrs    []SpanAttr
+	children []*Span
+	ended    bool
+}
+
+// SpanAttr is one integer attribute of a span.
+type SpanAttr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// StartSpan opens a root span. On a nil registry it returns nil (a no-op
+// span).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, start: time.Now()}
+}
+
+// Child opens a sub-span of s. On a nil span it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr records (or overwrites) an integer attribute.
+func (s *Span) SetAttr(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Val: val})
+}
+
+// AddAttr accumulates into an integer attribute (creating it at val).
+func (s *Span) AddAttr(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val += val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Val: val})
+}
+
+// End closes the span. Ending a root span publishes it to its registry's
+// trace ring; ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.reg != nil {
+		s.reg.mu.Lock()
+		s.reg.traces.push(s)
+		s.reg.mu.Unlock()
+	}
+}
+
+// Duration returns the span's duration (elapsed-so-far if not yet ended,
+// 0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// SpanSnapshot is the structured value of one span subtree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Duration time.Duration  `json:"duration_ns"`
+	Attrs    []SpanAttr     `json:"attrs,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SpanSnapshot{Name: s.name, Start: s.start, Duration: s.dur}
+	if !s.ended {
+		out.Duration = time.Since(s.start)
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = append([]SpanAttr(nil), s.attrs...)
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// traceRingSize bounds the retained finished root spans.
+const traceRingSize = 32
+
+// traceRing keeps the last traceRingSize finished root spans in arrival
+// order. Guarded by the owning registry's mutex.
+type traceRing struct {
+	spans [traceRingSize]*Span
+	next  int
+	n     int
+}
+
+func (t *traceRing) push(s *Span) {
+	t.spans[t.next] = s
+	t.next = (t.next + 1) % traceRingSize
+	if t.n < traceRingSize {
+		t.n++
+	}
+}
+
+// snapshots returns the retained traces oldest-first.
+func (t *traceRing) snapshots() []SpanSnapshot {
+	if t.n == 0 {
+		return nil
+	}
+	out := make([]SpanSnapshot, 0, t.n)
+	start := (t.next - t.n + traceRingSize) % traceRingSize
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.spans[(start+i)%traceRingSize].snapshot())
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// LastTrace returns the most recently finished root span, if any.
+func (r *Registry) LastTrace() (SpanSnapshot, bool) {
+	if r == nil {
+		return SpanSnapshot{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.traces.n == 0 {
+		return SpanSnapshot{}, false
+	}
+	last := (r.traces.next - 1 + traceRingSize) % traceRingSize
+	return r.traces.spans[last].snapshot(), true
+}

@@ -1,0 +1,22 @@
+package relation
+
+import "logicblox/internal/treap"
+
+// StorageStats reports the work counters of the underlying persistent
+// treap store: nodes allocated by path copying and set-operation prunes
+// on shared subtrees. See treap.EnableStats.
+type StorageStats = treap.StatsSnapshot
+
+// EnableStorageStats turns storage-layer work counting on or off.
+// Counting is process-wide and off by default; when off the hot paths
+// pay only an atomic flag load.
+func EnableStorageStats(on bool) { treap.EnableStats(on) }
+
+// StorageStatsEnabled reports whether storage work counting is active.
+func StorageStatsEnabled() bool { return treap.StatsEnabled() }
+
+// ReadStorageStats returns the current storage work counters.
+func ReadStorageStats() StorageStats { return treap.Stats() }
+
+// ResetStorageStats zeroes the storage work counters.
+func ResetStorageStats() { treap.ResetStats() }

@@ -1,0 +1,57 @@
+package treap
+
+import "sync/atomic"
+
+// Package-level work counters making snapshot and set-operation cost
+// visible: every persistent update copies the root-to-change path
+// (NodesAllocated), and every set operation / equality test prunes where
+// the operands literally share a subtree (SharedSubtrees). The ratio of
+// the two is the structural-sharing win the paper's O(1) branching story
+// rests on.
+//
+// Counting is off by default; when off, the only overhead on the hot
+// paths is one atomic flag load. Enable with EnableStats (typically from
+// `lb --stats` or a benchmark harness).
+var (
+	statsEnabled   atomic.Bool
+	nodesAllocated atomic.Int64
+	sharedSubtrees atomic.Int64
+)
+
+// EnableStats turns the package-level work counters on or off.
+func EnableStats(on bool) { statsEnabled.Store(on) }
+
+// StatsEnabled reports whether the work counters are active.
+func StatsEnabled() bool { return statsEnabled.Load() }
+
+// StatsSnapshot is a point-in-time copy of the work counters.
+type StatsSnapshot struct {
+	NodesAllocated int64 // nodes copied or created by mutating operations
+	SharedSubtrees int64 // set-op / equality prunes on literally shared subtrees
+}
+
+// Stats returns the current counter values.
+func Stats() StatsSnapshot {
+	return StatsSnapshot{
+		NodesAllocated: nodesAllocated.Load(),
+		SharedSubtrees: sharedSubtrees.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func ResetStats() {
+	nodesAllocated.Store(0)
+	sharedSubtrees.Store(0)
+}
+
+func countAlloc() {
+	if statsEnabled.Load() {
+		nodesAllocated.Add(1)
+	}
+}
+
+func countShared() {
+	if statsEnabled.Load() {
+		sharedSubtrees.Add(1)
+	}
+}

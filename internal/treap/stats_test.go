@@ -1,0 +1,51 @@
+package treap
+
+import "testing"
+
+func TestStatsCounting(t *testing.T) {
+	ResetStats()
+	EnableStats(true)
+	defer EnableStats(false)
+
+	a := New[int, int](intOps())
+	for i := 0; i < 100; i++ {
+		a = a.Insert(i, i)
+	}
+	afterBuild := Stats()
+	if afterBuild.NodesAllocated < 100 {
+		t.Fatalf("nodes allocated = %d, want ≥ 100", afterBuild.NodesAllocated)
+	}
+
+	// A union of a version with a derived version prunes on the subtrees
+	// the two literally share.
+	b := a.Insert(1000, 1000)
+	_ = a.Union(b)
+	if s := Stats(); s.SharedSubtrees == afterBuild.SharedSubtrees {
+		t.Fatalf("union of overlapping versions recorded no shared-subtree prunes: %+v", s)
+	}
+
+	// Equality of the same root prunes immediately.
+	before := Stats().SharedSubtrees
+	if !a.Equal(a) {
+		t.Fatal("self equality")
+	}
+	if s := Stats(); s.SharedSubtrees <= before {
+		t.Fatalf("self-equality recorded no prune: %+v", s)
+	}
+}
+
+func TestStatsDisabled(t *testing.T) {
+	EnableStats(false)
+	ResetStats()
+	a := New[int, int](intOps())
+	for i := 0; i < 10; i++ {
+		a = a.Insert(i, i)
+	}
+	_ = a.Union(a)
+	if s := Stats(); s.NodesAllocated != 0 || s.SharedSubtrees != 0 {
+		t.Fatalf("counters moved while disabled: %+v", s)
+	}
+	if StatsEnabled() {
+		t.Fatal("StatsEnabled reports true after EnableStats(false)")
+	}
+}

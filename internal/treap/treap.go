@@ -71,6 +71,7 @@ func (n *node[K, V]) subHash() uint64 {
 func (t Tree[K, V]) IsEmpty() bool { return t.root == nil }
 
 func (t Tree[K, V]) mk(key K, val V, prio uint64, left, right *node[K, V]) *node[K, V] {
+	countAlloc()
 	h := prio // priority already encodes the key hash
 	// Mix in a hash of the value region indirectly: structural hash covers
 	// keys and shape; values are compared explicitly where needed.
@@ -217,6 +218,7 @@ func (t Tree[K, V]) union(a, b *node[K, V], merge func(x, y V) V) *node[K, V] {
 	case b == nil:
 		return a
 	case a == b:
+		countShared()
 		return a
 	}
 	if b.prio > a.prio || (b.prio == a.prio && t.ops.Compare(b.key, a.key) < 0) {
@@ -247,6 +249,7 @@ func (t Tree[K, V]) intersect(a, b *node[K, V]) *node[K, V] {
 		return nil
 	}
 	if a == b {
+		countShared()
 		return a
 	}
 	// Pivot on the higher-priority root to keep the result heap-ordered;
@@ -281,6 +284,7 @@ func (t Tree[K, V]) difference(a, b *node[K, V]) *node[K, V] {
 	case b == nil:
 		return a
 	case a == b:
+		countShared()
 		return nil
 	}
 	l, eq, _, r := t.split(b, a.key)
@@ -308,6 +312,9 @@ func (t Tree[K, V]) EqualFunc(u Tree[K, V], eq func(a, b V) bool) bool {
 
 func (t Tree[K, V]) equalNodes(a, b *node[K, V], eq func(x, y V) bool) bool {
 	if a == b {
+		if a != nil {
+			countShared()
+		}
 		return true // shared subtree: keys and values are literally identical
 	}
 	if a == nil || b == nil {
@@ -405,6 +412,9 @@ func (t Tree[K, V]) DiffWith(u Tree[K, V], valEq func(a, b V) bool,
 func (t Tree[K, V]) diff(a, b *node[K, V], valEq func(x, y V) bool,
 	onDel func(K, V), onIns func(K, V), onUpd func(K, V, V)) {
 	if a == b {
+		if a != nil {
+			countShared()
+		}
 		return
 	}
 	if a == nil {

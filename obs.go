@@ -1,0 +1,50 @@
+package logicblox
+
+import (
+	"logicblox/internal/obs"
+	"logicblox/internal/relation"
+)
+
+// Observability. The obs registry collects engine-wide metrics: per-rule
+// evaluation profiles (time, tuples, LFTJ seeks/nexts, sensitivity
+// records), transaction spans with phase timings, IVM work counters, and
+// storage-layer sharing statistics. A registry can be attached to one
+// workspace lineage with Workspace.WithObserver, or installed process-
+// wide with SetDefaultObserver; with no registry installed every
+// instrumentation point is a no-op.
+
+// ObsRegistry owns a namespace of metrics, rule profiles and traces.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a point-in-time structured copy of a registry. It
+// marshals to expvar-style JSON via its WriteJSON method.
+type ObsSnapshot = obs.Snapshot
+
+// SpanSnapshot is the structured value of one trace span subtree.
+type SpanSnapshot = obs.SpanSnapshot
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// SetDefaultObserver installs reg as the process-wide default registry
+// picked up by every workspace and engine context that was not handed an
+// explicit one (nil disables, the default).
+func SetDefaultObserver(reg *ObsRegistry) { obs.SetDefault(reg) }
+
+// DefaultObserver returns the process-wide default registry, or nil.
+func DefaultObserver() *ObsRegistry { return obs.Default() }
+
+// EnableStorageStats toggles the storage-layer (treap) work counters;
+// transactions then refresh the treap.* gauges of their registry.
+func EnableStorageStats(on bool) { relation.EnableStorageStats(on) }
+
+// FormatRuleTable renders a snapshot's per-rule profile as an aligned
+// text table, most expensive rule first.
+func FormatRuleTable(s ObsSnapshot) string { return obs.FormatRuleTable(s) }
+
+// FormatCounters renders a snapshot's counters, gauges and histogram
+// summaries as sorted "name value" lines.
+func FormatCounters(s ObsSnapshot) string { return obs.FormatCounters(s) }
+
+// FormatSpanTree renders one trace as an indented tree.
+func FormatSpanTree(s SpanSnapshot) string { return obs.FormatSpanTree(s) }
