@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench
+.PHONY: ci build vet test race fmt-check bench difftest
 
-ci: fmt-check vet build race
+ci: fmt-check vet build race difftest
+
+# The differential harness: generated programs evaluated by the LFTJ
+# engine (every candidate order, plan cache cold and warm) and by all
+# IVM modes must match a naive reference evaluator, race-detector on.
+difftest:
+	$(GO) test -race -run 'Differential' -count=1 ./internal/engine/
 
 build:
 	$(GO) build ./...

@@ -14,6 +14,7 @@ package logicblox
 // E8       BenchmarkTreap
 // E9       BenchmarkSolver
 // E10      BenchmarkPredict
+// E11      BenchmarkAdaptiveOptimizer
 // ablation BenchmarkVariableOrder, BenchmarkOptimizer,
 //          BenchmarkPartitionedTriangle, BenchmarkWorkspaceExec,
 //          BenchmarkQuery
@@ -211,6 +212,53 @@ func BenchmarkOptimizer(b *testing.B) {
 			if _, err := optimizer.ChooseOrder(rule, rels, optimizer.Options{}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// E11: the adaptive optimizer loop. Each iteration models a transaction
+// re-entering fixpoint evaluation: a fresh engine context (per-context
+// plan memos are cold, as after a recompile) evaluates the same rule.
+// Without a plan store every re-entry re-runs sample-based ChooseOrder;
+// with one, the cached order is reused after the first decision.
+func BenchmarkAdaptiveOptimizer(b *testing.B) {
+	prog := mustCompileB(b, `q(a, b, c) <- r(a, b), s(b, c), t(c).`)
+	r := relation.New(2)
+	s := relation.New(2)
+	for i := int64(0); i < 120000; i++ {
+		r = r.Insert(tuple.Ints(i%2000, i%3000))
+		s = s.Insert(tuple.Ints(i%3000, i%4000))
+	}
+	tt := relation.New(1)
+	tt = tt.Insert(tuple.Ints(17))
+	base := map[string]relation.Relation{"r": r, "s": s, "t": tt}
+	rule := prog.Rules[0]
+	b.Run("resample-per-tx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := engine.NewContext(prog, base, engine.Options{Optimize: true})
+			if _, err := ctx.EvalRule(rule, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan-cache", func(b *testing.B) {
+		store := optimizer.NewPlanStore(optimizer.StoreOptions{})
+		// Warm the store: first decision samples, the rest reuse it.
+		ctx := engine.NewContext(prog, base, engine.Options{Optimize: true, Plans: store})
+		if _, err := ctx.EvalRule(rule, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := engine.NewContext(prog, base, engine.Options{Optimize: true, Plans: store})
+			if _, err := ctx.EvalRule(rule, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := store.Stats()
+		if st.Hits < int64(b.N) {
+			b.Fatalf("expected at least %d plan-cache hits, got %+v", b.N, st)
 		}
 	})
 }

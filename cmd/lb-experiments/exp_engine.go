@@ -25,7 +25,7 @@ func runBranch(quick bool) {
 	}
 	fmt.Printf("%-12s %-16s %-14s\n", "facts", "branches/sec", "ns/branch")
 	for _, n := range sizes {
-		ws := core.NewWorkspace()
+		ws := newWorkspace()
 		ws, err := ws.AddBlock("s", `fact(x, y) -> int(x), int(y).`)
 		if err != nil {
 			panic(err)
@@ -176,7 +176,7 @@ func runLive(quick bool) {
 	}
 	fmt.Printf("%-12s %-18s %-18s\n", "views", "addblock (incr)", "rebuild (full)")
 	for _, n := range counts {
-		ws := core.NewWorkspace()
+		ws := newWorkspace()
 		var err error
 		ws, err = ws.AddBlock("schema", `src(x, y) -> int(x), int(y).`)
 		if err != nil {
@@ -211,7 +211,7 @@ func runLive(quick bool) {
 
 		// Full rebuild: reinstall everything from scratch.
 		t0 = time.Now()
-		fresh := core.NewWorkspace()
+		fresh := newWorkspace()
 		fresh, _ = fresh.AddBlock("schema", `src(x, y) -> int(x), int(y).`)
 		fresh, _ = fresh.Load("src", ts)
 		for name, srcB := range blocks {

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	lb [-stats] [-trace] [script.lb]
+//	lb [-stats] [-trace] [-adaptive-opt] [script.lb]
 //
 // With -stats, every transaction is followed by a per-rule profile table
 // (evaluation time, tuples produced, leapfrog seeks/nexts, sensitivity
 // records); with -trace, by a span tree of the transaction's phases.
 // :stats dumps the full metric snapshot of the last transaction.
+//
+// With -adaptive-opt, rule join orders are chosen by the feedback-driven
+// adaptive optimizer: sampling runs once per rule, the chosen order is
+// cached in a plan store shared across transactions, and re-sampling
+// happens only when observed evaluation costs or input cardinalities
+// drift. :plans dumps the plan store.
 //
 // Commands (everything else is interpreted as LogiQL):
 //
@@ -25,6 +31,7 @@
 //	:history                    list committed versions
 //	:branchat <i> <name>        branch from a historical version (time travel)
 //	:solve                      run the LP/MIP solver on the current logic
+//	:plans                      dump the adaptive optimizer's plan store
 //	:save <file>                write a snapshot of all branches
 //	:open <file>                replace the session with a saved snapshot
 //	:help                       show this help
@@ -50,10 +57,15 @@ import (
 func main() {
 	stats := flag.Bool("stats", false, "print a per-rule profile table after every transaction")
 	trace := flag.Bool("trace", false, "print a phase span tree after every transaction")
+	adaptive := flag.Bool("adaptive-opt", false, "feedback-driven join-order optimization with a cached plan store")
 	flag.Parse()
 
 	r := &repl{db: logicblox.Open(), branch: logicblox.DefaultBranch, out: os.Stdout}
 	r.enableObs(*stats, *trace)
+	if *adaptive {
+		ws := must(r.db.Workspace(r.branch))
+		r.commit(ws.WithAdaptiveOptimizer(true))
+	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 
@@ -175,7 +187,7 @@ func (r *repl) command(line string, blockName *string) bool {
 		fmt.Fprintln(r.out, "commands: :addblock <name> <<  |  :removeblock <name>  |  :load <name> <file>")
 		fmt.Fprintln(r.out, "          :import <pred> <file.csv>")
 		fmt.Fprintln(r.out, "          :blocks  :rel <pred>  :branch <from> <to>  :checkout <br>  :branches")
-		fmt.Fprintln(r.out, "          :solve  :stats  :quit")
+		fmt.Fprintln(r.out, "          :solve  :stats  :plans  :quit")
 		fmt.Fprintln(r.out, "queries:  ?- _(x) <- p(x).        exec:  +p(\"a\").")
 	case ":stats":
 		if r.reg == nil {
@@ -185,6 +197,14 @@ func (r *repl) command(line string, blockName *string) bool {
 		snap := r.reg.Snapshot()
 		fmt.Fprint(r.out, logicblox.FormatRuleTable(snap))
 		fmt.Fprint(r.out, logicblox.FormatCounters(snap))
+	case ":plans":
+		ws := must(r.db.Workspace(r.branch))
+		ps := ws.PlanStore()
+		if ps == nil {
+			fmt.Fprintln(r.out, "adaptive optimization is off — start lb with -adaptive-opt")
+			break
+		}
+		fmt.Fprint(r.out, logicblox.FormatPlanTable(ps.Stats(), ps.Snapshot()))
 	case ":addblock":
 		if len(fields) < 3 || fields[2] != "<<" {
 			fmt.Fprintln(r.out, "usage: :addblock <name> <<")

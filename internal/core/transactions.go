@@ -101,6 +101,10 @@ func (ws *Workspace) reinstallTraced(name, src string, parsed *ast.Program, newP
 	for _, p := range analysis.DropPreds {
 		dirty[p] = true // downstream readers of a dropped view must see it empty
 	}
+	// A schema change invalidates every cached plan that reads or derives
+	// an affected predicate, so the adaptive optimizer re-samples against
+	// the new logic instead of trusting stale orders.
+	out.plans.InvalidatePreds(dirty)
 	out, err = out.rederive(dirty, sp)
 	if err != nil {
 		return nil, err
@@ -161,7 +165,7 @@ func (ws *Workspace) exec(src string, sp *obs.Span) (*ExecResult, error) {
 
 	// Seed the evaluation context: current contents plus @start versions.
 	rels := ws.relations()
-	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize, Obs: ws.Observer()})
+	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer()})
 	for p := range combined.Preds {
 		ctx.Set(p+compiler.DecorAtStart, ws.Relation(p))
 	}

@@ -16,6 +16,7 @@ import (
 	"logicblox/internal/engine"
 	"logicblox/internal/ml"
 	"logicblox/internal/obs"
+	"logicblox/internal/optimizer"
 	"logicblox/internal/parser"
 	"logicblox/internal/pmap"
 	"logicblox/internal/relation"
@@ -33,8 +34,9 @@ type Workspace struct {
 	derived  pmap.Map[relation.Relation] // derived predicate contents
 	models   *ml.Registry                // model store (append-only, shared across versions)
 	version  uint64
-	optimize bool          // sampling-based join-order optimization (paper §3.2)
-	obs      *obs.Registry // transaction profiling target (nil → obs.Default)
+	optimize bool                 // sampling-based join-order optimization (paper §3.2)
+	plans    *optimizer.PlanStore // adaptive plan cache (shared across versions; nil = re-sample every transaction)
+	obs      *obs.Registry        // transaction profiling target (nil → obs.Default)
 }
 
 // NewWorkspace returns an empty workspace with no logic and no data.
@@ -66,6 +68,30 @@ func (ws *Workspace) WithOptimizer(on bool) *Workspace {
 	cp.optimize = on
 	return &cp
 }
+
+// WithAdaptiveOptimizer returns a workspace whose evaluations use the
+// feedback-driven adaptive optimizer: the sampling optimizer is on, and
+// chosen variable orders persist in a plan store shared by every version
+// and branch derived from this workspace (like the model registry).
+// Subsequent transactions reuse cached orders and re-run sampling only
+// when the engine's observed evaluation costs drift past the store's
+// threshold, when input cardinalities change materially, or when a
+// schema change invalidates the plan. Passing false detaches the store
+// and reverts to per-transaction sampling.
+func (ws *Workspace) WithAdaptiveOptimizer(on bool) *Workspace {
+	cp := *ws
+	cp.optimize = on
+	if on {
+		cp.plans = optimizer.NewPlanStore(optimizer.StoreOptions{})
+	} else {
+		cp.plans = nil
+	}
+	return &cp
+}
+
+// PlanStore returns the adaptive optimizer's plan cache, or nil when the
+// workspace is not running with WithAdaptiveOptimizer.
+func (ws *Workspace) PlanStore() *optimizer.PlanStore { return ws.plans }
 
 // Blocks returns the installed block names.
 func (ws *Workspace) Blocks() []string { return ws.blocks.Keys() }
@@ -144,7 +170,7 @@ func (ws *Workspace) rederive(dirty map[string]bool, parent *obs.Span) (*Workspa
 	reg := ws.Observer()
 	sp := parent.Child("rederive")
 	sp.SetAttr("dirty", int64(len(dirty)))
-	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize, Obs: reg})
+	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize, Plans: out.plans, Obs: reg})
 	ctx.SetSpan(sp)
 	var evals, reused int64
 	defer func() {
@@ -332,7 +358,7 @@ func (ws *Workspace) query(src string, sp *obs.Span) ([]tuple.Tuple, error) {
 	if err != nil {
 		return nil, fmt.Errorf("query compile: %w", err)
 	}
-	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Obs: ws.Observer()})
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer()})
 	esp := sp.Child("eval")
 	ctx.SetSpan(esp)
 	// Evaluate only predicates that are not already materialized in the

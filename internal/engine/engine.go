@@ -34,6 +34,12 @@ type Options struct {
 	// (paper §3.2): each rule's join order is chosen by comparing
 	// candidate orders on predicate samples, cached per rule.
 	Optimize bool
+	// Plans, if non-nil (and Optimize is on), is a cross-transaction plan
+	// cache: chosen orders are reused by rule fingerprint and re-sampled
+	// only when observed evaluation cost or input cardinalities drift
+	// (the adaptive optimizer loop). Observed seek/next counts are fed
+	// back into the store after every full rule evaluation.
+	Plans *optimizer.PlanStore
 	// Parallel, when > 1, evaluates independent rules of a non-recursive
 	// stratum concurrently with up to Parallel workers (the automatic
 	// parallelization of queries and views, paper T1). Ignored while a
@@ -56,6 +62,7 @@ type Context struct {
 	models    *ml.Registry
 	sens      *lftj.SensitivityIndex
 	optimize  bool
+	planStore *optimizer.PlanStore
 	parallel  int
 	obs       *obs.Registry              // nil = instrumentation off
 	span      *obs.Span                  // parent for stratum spans (may be nil)
@@ -78,6 +85,7 @@ func NewContext(prog *compiler.Program, base map[string]relation.Relation, opts 
 		models:    opts.Models,
 		sens:      opts.Sens,
 		optimize:  opts.Optimize,
+		planStore: opts.Plans,
 		parallel:  opts.Parallel,
 		obs:       reg,
 		plans:     map[int]*compiler.RulePlan{},
@@ -432,10 +440,21 @@ func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.
 	if err != nil {
 		return fmt.Errorf("in rule %q: %w", r.Source, err)
 	}
-	if rs := c.ruleStatsFor(r); rs != nil {
+	rs := c.ruleStatsFor(r)
+	// Full (non-delta) evaluations of optimized plans feed their real
+	// iterator-operation counts back into the plan store, which is what
+	// arms its drift detection — so metrics are collected whenever the
+	// store needs them, even with observability off.
+	observe := c.planStore != nil && c.optimize && atomOverride == nil && r.NumJoinVars > 1
+	if rs != nil || observe {
 		m := &lftj.Metrics{}
 		j.SetMetrics(m)
-		defer func() { rs.AddJoin(m.Seeks, m.Nexts, m.SensRecords) }()
+		defer func() {
+			rs.AddJoin(m.Seeks, m.Nexts, m.SensRecords)
+			if observe {
+				c.planStore.Observe(r, m.Seeks+m.Nexts)
+			}
+		}()
 	}
 	var innerErr error
 	j.Run(func(b tuple.Tuple) bool {
@@ -571,8 +590,10 @@ func (r ctxResolver) Exists(name string, pattern []tuple.Value, wild []bool) boo
 	return r.c.Relation(name).MatchExists(pattern, wild)
 }
 
-// optimizedPlan returns (and caches) the sampling-optimized variant of a
-// rule plan.
+// optimizedPlan returns (and caches per context) the optimized variant
+// of a rule plan. With a plan store attached, the cross-transaction
+// cached order is reused when fresh and sampling runs only on a miss or
+// after drift; without one, every new context re-runs sampling.
 func (c *Context) optimizedPlan(r *compiler.RulePlan) *compiler.RulePlan {
 	c.mu.Lock()
 	if p, ok := c.plans[r.ID]; ok {
@@ -580,13 +601,44 @@ func (c *Context) optimizedPlan(r *compiler.RulePlan) *compiler.RulePlan {
 		return p
 	}
 	c.mu.Unlock()
-	res, err := optimizer.ChooseOrder(r, c.Relation, optimizer.Options{})
 	plan := r
-	if err == nil && res.Plan != nil {
-		plan = res.Plan
+	var order []int
+	cached := false
+	if c.planStore != nil {
+		res, hit, err := c.planStore.Choose(r, c.Relation)
+		if err == nil && res.Plan != nil {
+			plan, order, cached = res.Plan, res.Order, hit
+			if hit {
+				c.obs.Counter("optimizer.plan.hits").Inc()
+			} else {
+				c.obs.Counter("optimizer.plan.misses").Inc()
+				c.obs.Counter("optimizer.choose_order.calls").Inc()
+			}
+		}
+	} else {
+		res, err := optimizer.ChooseOrder(r, c.Relation, optimizer.Options{})
+		if err == nil && res.Plan != nil {
+			plan, order = res.Plan, res.Order
+			c.obs.Counter("optimizer.choose_order.calls").Inc()
+		}
+	}
+	if order != nil {
+		c.ruleStatsFor(r).SetPlan(orderString(order), cached)
 	}
 	c.mu.Lock()
 	c.plans[r.ID] = plan
 	c.mu.Unlock()
 	return plan
+}
+
+// orderString renders a variable order as "0,2,1" for rule profiles.
+func orderString(order []int) string {
+	var sb strings.Builder
+	for i, o := range order {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", o)
+	}
+	return sb.String()
 }

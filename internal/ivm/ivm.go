@@ -134,22 +134,37 @@ func (m *Maintainer) Apply(deltas map[string]Delta) (map[string]Delta, error) {
 	defer m.observeApply(deltas)()
 	acc := map[string]Delta{}
 	old := map[string]relation.Relation{}
-	// Apply base deltas, remembering old versions.
+	// Apply base deltas, remembering old versions. Deltas are normalized
+	// to their effective changes first: under set semantics, deleting an
+	// absent tuple, re-inserting a present one, or repeating a change
+	// within the batch alters nothing — but if passed through verbatim it
+	// would corrupt the counting mode's derivation counts (a redundant
+	// insertion adds support that no later deletion can retract).
 	for name, d := range deltas {
 		if d.Empty() {
 			continue
 		}
 		cur := m.ctx.Relation(name)
-		old[name] = cur
 		upd := cur
+		var eff Delta
 		for _, t := range d.Del {
-			upd = upd.Delete(t)
+			if upd.Contains(t) {
+				upd = upd.Delete(t)
+				eff.Del = append(eff.Del, t)
+			}
 		}
 		for _, t := range d.Ins {
-			upd = upd.Insert(t)
+			if !upd.Contains(t) {
+				upd = upd.Insert(t)
+				eff.Ins = append(eff.Ins, t)
+			}
 		}
+		if eff.Empty() {
+			continue
+		}
+		old[name] = cur
 		m.ctx.Set(name, upd)
-		acc[name] = d
+		acc[name] = eff
 	}
 	if len(acc) == 0 {
 		return acc, nil

@@ -1,0 +1,64 @@
+package ivm
+
+import (
+	"testing"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// TestRedundantDeltasAreNormalized pins a bug the differential harness
+// found: re-inserting an already-present tuple is a no-op under set
+// semantics, but if passed to the counting mode verbatim it added a
+// second derivation count that no later deletion could retract, leaving
+// a phantom tuple in the view. Apply must reduce each batch to its
+// effective changes for every mode.
+func TestRedundantDeltasAreNormalized(t *testing.T) {
+	src := `
+		d(x) <- p(x), p(x).
+		d(x) <- p(x), q(x).`
+	for _, mode := range allModes {
+		prog := mustProgram(t, src)
+		base := map[string]relation.Relation{
+			"p": relation.FromTuples(1, []tuple.Tuple{tuple.Ints(1), tuple.Ints(2)}),
+			"q": relation.FromTuples(1, []tuple.Tuple{tuple.Ints(1)}),
+		}
+		m, err := NewMaintainer(prog, cloneBase(base), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		arities := map[string]int{"p": 1, "q": 1}
+
+		// Redundant batch: q(1) is already present, and p(3) arrives twice.
+		deltas := map[string]Delta{
+			"q": {Ins: []tuple.Tuple{tuple.Ints(1)}},
+			"p": {Ins: []tuple.Tuple{tuple.Ints(3), tuple.Ints(3)}},
+		}
+		acc, err := m.Apply(deltas)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if d := acc["q"]; !d.Empty() {
+			t.Fatalf("%v: no-op insert reported as a change: %+v", mode, d)
+		}
+		if d := acc["p"]; len(d.Ins) != 1 {
+			t.Fatalf("%v: duplicate insert not deduplicated: %+v", mode, d)
+		}
+		applyToBase(base, deltas, arities)
+		checkAgainstOracle(t, m, prog, base, mode.String()+" after redundant insert")
+
+		// Now the deletions that exposed the bug: both supports of d(1)
+		// disappear, plus a deletion of an absent tuple (pure no-op).
+		deltas = map[string]Delta{
+			"p": {Del: []tuple.Tuple{tuple.Ints(1), tuple.Ints(99)}},
+		}
+		if _, err := m.Apply(deltas); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		applyToBase(base, deltas, arities)
+		checkAgainstOracle(t, m, prog, base, mode.String()+" after delete")
+		if m.Relation("d").Contains(tuple.Ints(1)) {
+			t.Fatalf("%v: phantom d(1) survived the deletion of p(1)", mode)
+		}
+	}
+}

@@ -22,6 +22,28 @@ type RuleStats struct {
 	nexts       atomic.Int64 // LFTJ iterator nexts
 	sensRecords atomic.Int64 // sensitivity intervals recorded
 	nanos       atomic.Int64 // total evaluation time
+
+	// Adaptive-optimizer profile: the variable order the optimizer chose
+	// for the rule, and how often it came from the plan cache vs. a fresh
+	// sampling run.
+	planOrder  atomic.Pointer[string]
+	planCached atomic.Int64
+	planChosen atomic.Int64
+}
+
+// SetPlan records the optimizer's chosen variable order for this rule
+// and whether it was reused from the plan cache (cached) or freshly
+// sampled.
+func (s *RuleStats) SetPlan(order string, cached bool) {
+	if s == nil {
+		return
+	}
+	s.planOrder.Store(&order)
+	if cached {
+		s.planCached.Add(1)
+	} else {
+		s.planChosen.Add(1)
+	}
 }
 
 // AddEval records one full evaluation of the rule.
@@ -66,6 +88,12 @@ type RuleSnapshot struct {
 	Nexts       int64         `json:"nexts"`
 	SensRecords int64         `json:"sens_records,omitempty"`
 	EvalTime    time.Duration `json:"eval_time_ns"`
+	// PlanOrder is the variable order the optimizer chose (empty when
+	// the rule never went through the optimizer); PlanCached/PlanChosen
+	// count plan-cache reuses vs. fresh sampling runs.
+	PlanOrder  string `json:"plan_order,omitempty"`
+	PlanCached int64  `json:"plan_cached,omitempty"`
+	PlanChosen int64  `json:"plan_chosen,omitempty"`
 }
 
 // Rule returns (creating if needed) the profile record for rule id, or
@@ -92,7 +120,7 @@ func (r *Registry) ruleSnapshotsLocked() []RuleSnapshot {
 	}
 	out := make([]RuleSnapshot, 0, len(r.rules))
 	for _, s := range r.rules {
-		out = append(out, RuleSnapshot{
+		snap := RuleSnapshot{
 			ID:          s.id,
 			Head:        s.head,
 			Source:      s.source,
@@ -103,7 +131,13 @@ func (r *Registry) ruleSnapshotsLocked() []RuleSnapshot {
 			Nexts:       s.nexts.Load(),
 			SensRecords: s.sensRecords.Load(),
 			EvalTime:    time.Duration(s.nanos.Load()),
-		})
+			PlanCached:  s.planCached.Load(),
+			PlanChosen:  s.planChosen.Load(),
+		}
+		if p := s.planOrder.Load(); p != nil {
+			snap.PlanOrder = *p
+		}
+		out = append(out, snap)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].EvalTime != out[j].EvalTime {

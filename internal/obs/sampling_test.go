@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTraceSamplingRetainsCeilKOverN: with 1-in-N sampling, finishing k
+// root spans retains exactly ⌈k/N⌉ of them (the first of every N), in
+// order.
+func TestTraceSamplingRetainsCeilKOverN(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 10}, {2, 10}, {3, 9}, {4, 10}, {5, 12}, {7, 7}, {10, 3}, {32, 20},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.SetTraceSampling(tc.n)
+		for i := 0; i < tc.k; i++ {
+			sp := r.StartSpan(fmt.Sprintf("root%02d", i))
+			sp.Child("work").End()
+			sp.End()
+		}
+		want := (tc.k + tc.n - 1) / tc.n
+		got := r.Snapshot().Traces
+		if len(got) != want {
+			t.Fatalf("N=%d k=%d: retained %d traces, want ⌈k/N⌉=%d", tc.n, tc.k, len(got), want)
+		}
+		for i, tr := range got {
+			if wantName := fmt.Sprintf("root%02d", i*tc.n); tr.Name != wantName {
+				t.Fatalf("N=%d k=%d: trace %d is %q, want %q", tc.n, tc.k, i, tr.Name, wantName)
+			}
+			// Sampled-in traces are complete, children included.
+			if len(tr.Children) != 1 || tr.Children[0].Name != "work" {
+				t.Fatalf("N=%d k=%d: sampled trace lost its children: %+v", tc.n, tc.k, tr)
+			}
+		}
+	}
+}
+
+// TestTraceSamplingDefaultKeepsAll: N=1 (and the zero value) preserve
+// current behavior — every finished root enters the ring.
+func TestTraceSamplingDefaultKeepsAll(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		r.StartSpan("t").End()
+	}
+	if got := len(r.Snapshot().Traces); got != 5 {
+		t.Fatalf("default sampling retained %d of 5 traces", got)
+	}
+	r.SetTraceSampling(0)
+	for i := 0; i < 5; i++ {
+		r.StartSpan("t").End()
+	}
+	if got := len(r.Snapshot().Traces); got != 10 {
+		t.Fatalf("n=0 sampling retained %d of 10 traces", got)
+	}
+}
+
+// TestTraceSamplingResetsPhase: re-arming sampling restarts the 1-in-N
+// phase so the next root is always kept.
+func TestTraceSamplingResetsPhase(t *testing.T) {
+	r := NewRegistry()
+	r.SetTraceSampling(3)
+	r.StartSpan("a").End() // kept (seq 0)
+	r.StartSpan("b").End() // dropped
+	r.SetTraceSampling(3)  // reset phase
+	r.StartSpan("c").End() // kept (seq 0 again)
+	got := r.Snapshot().Traces
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("traces = %+v, want [a c]", got)
+	}
+	// Nil registry: no-op.
+	var nilReg *Registry
+	nilReg.SetTraceSampling(4)
+}

@@ -98,7 +98,13 @@ func (s *Span) End() {
 	s.mu.Unlock()
 	if s.reg != nil {
 		s.reg.mu.Lock()
-		s.reg.traces.push(s)
+		// 1-in-N sampling: of every sampleN finished roots, the first is
+		// retained. N ≤ 1 keeps all (the default).
+		keep := s.reg.sampleN <= 1 || s.reg.spanSeq%int64(s.reg.sampleN) == 0
+		s.reg.spanSeq++
+		if keep {
+			s.reg.traces.push(s)
+		}
 		s.reg.mu.Unlock()
 	}
 }

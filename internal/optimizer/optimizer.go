@@ -57,7 +57,7 @@ func ChooseOrder(rule *compiler.RulePlan, rels func(name string) relation.Relati
 	}
 
 	best := &Result{Cost: -1}
-	for _, order := range candidateOrders(n, opts.MaxCandidates) {
+	for _, order := range CandidateOrders(n, opts.MaxCandidates) {
 		plan, err := compiler.ReorderRule(rule, order)
 		if err != nil {
 			return nil, err
@@ -87,9 +87,14 @@ func identity(n int) []int {
 	return out
 }
 
-// candidateOrders enumerates all permutations for small n and a rotation
-// family for larger n, capped at max.
-func candidateOrders(n, max int) [][]int {
+// CandidateOrders enumerates the candidate variable orders for n join
+// variables: all permutations when they fit under max, else a rotation
+// family plus adjacent swaps of the identity (a cheap diverse set),
+// capped at max. max ≤ 0 selects the default cap.
+func CandidateOrders(n, max int) [][]int {
+	if max <= 0 {
+		max = 24
+	}
 	var out [][]int
 	if factorial(n) <= max {
 		permute(identity(n), 0, &out)

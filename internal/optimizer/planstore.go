@@ -1,0 +1,364 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/relation"
+)
+
+// PlanStore is a persistent per-rule plan cache: it remembers the
+// variable order the sampling optimizer chose for a rule (keyed by a
+// structural fingerprint that survives recompilation) together with the
+// input cardinalities at plan-choice time and the iterator-operation
+// costs the engine actually observed executing the plan. On the next
+// compile or fixpoint re-entry the cached order is reused outright;
+// sample-based ChooseOrder re-runs only when the observed per-evaluation
+// cost drifts past DriftFactor times the cost recorded when the plan was
+// chosen, or when an input relation's cardinality changes by more than
+// CardRatio. This closes the measure→decide→re-measure loop the paper's
+// §3.2 sampling optimizer leaves open: real profiles replace sample
+// replay as the keep-or-replan signal once they exist.
+type PlanStore struct {
+	mu      sync.Mutex
+	opts    StoreOptions
+	entries map[string]*planEntry
+
+	hits        int64 // cached order reused
+	misses      int64 // no entry: full ChooseOrder sampling ran
+	redecisions int64 // entry was stale (drift / cardinality): re-sampled
+	invalidated int64 // entries dropped by schema-change invalidation
+}
+
+// StoreOptions tune the plan cache's staleness tests.
+type StoreOptions struct {
+	// DriftFactor re-triggers sampling when a rule evaluation's observed
+	// iterator operations exceed DriftFactor × the baseline recorded when
+	// the plan was chosen (default 2.0).
+	DriftFactor float64
+	// CardRatio re-triggers sampling when any input relation's
+	// cardinality grows or shrinks by more than this ratio relative to
+	// plan-choice time (default 2.0).
+	CardRatio float64
+	// Optimizer configures the sampling runs the store falls back to.
+	Optimizer Options
+}
+
+// driftFloor is the minimum baseline (in iterator operations) the drift
+// test applies to: below it, absolute costs are noise and a 2× blowup is
+// meaningless.
+const driftFloor = 64
+
+type planEntry struct {
+	fingerprint string
+	head        string
+	source      string
+	order       []int
+	sampleCost  int            // sample-replay cost at choice time
+	evaluated   int            // candidate orders tried at choice time
+	cards       map[string]int // input cardinalities at choice time
+	preds       []string       // base names of body predicates (invalidation)
+
+	// Observed (obs-fed) cost model: per-evaluation iterator operations
+	// measured by the engine executing this plan for real. The first
+	// observation after plan choice becomes the baseline; later
+	// evaluations exceeding DriftFactor × baseline mark the entry stale.
+	baselineOps int64
+	lastOps     int64
+	obsEvals    int64
+	obsOps      int64
+	hits        int64
+	stale       bool
+}
+
+// NewPlanStore returns an empty plan cache.
+func NewPlanStore(opts StoreOptions) *PlanStore {
+	if opts.DriftFactor <= 1 {
+		opts.DriftFactor = 2.0
+	}
+	if opts.CardRatio <= 1 {
+		opts.CardRatio = 2.0
+	}
+	return &PlanStore{opts: opts, entries: map[string]*planEntry{}}
+}
+
+// Fingerprint identifies a rule across recompilations: head, source
+// text, join-variable count, and the sorted multiset of body predicate
+// names. It is invariant under ReorderRule, so the original plan and any
+// reordered variant of it share an entry.
+func Fingerprint(r *compiler.RulePlan) string {
+	names := make([]string, 0, len(r.Atoms))
+	for _, a := range r.Atoms {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%s", r.HeadName, r.Source, r.NumJoinVars, strings.Join(names, ","))
+}
+
+// Choose returns the best plan for the rule, reusing the cached order
+// when it is still trusted. cached reports whether sampling was skipped.
+// Trivial rules (≤1 join variable) pass through without touching the
+// store, mirroring ChooseOrder.
+func (s *PlanStore) Choose(r *compiler.RulePlan, rels func(name string) relation.Relation) (res *Result, cached bool, err error) {
+	if s == nil {
+		res, err = ChooseOrder(r, rels, Options{})
+		return res, false, err
+	}
+	if r.NumJoinVars <= 1 || len(r.Atoms) == 0 {
+		return &Result{Plan: r, Order: identity(r.NumJoinVars)}, false, nil
+	}
+	fp := Fingerprint(r)
+	cards := inputCards(r, rels)
+
+	s.mu.Lock()
+	e, ok := s.entries[fp]
+	if ok && !e.stale && cardsFresh(e.cards, cards, s.opts.CardRatio) {
+		order := append([]int(nil), e.order...)
+		cost := e.sampleCost
+		e.hits++
+		s.hits++
+		s.mu.Unlock()
+		plan, rerr := compiler.ReorderRule(r, order)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		return &Result{Plan: plan, Order: order, Cost: cost, Evaluated: 0}, true, nil
+	}
+	if ok {
+		s.redecisions++
+	} else {
+		s.misses++
+	}
+	opts := s.opts.Optimizer
+	s.mu.Unlock()
+
+	res, err = ChooseOrder(r, rels, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	preds := make([]string, 0, len(r.Atoms))
+	seen := map[string]bool{}
+	for _, a := range r.Atoms {
+		base := compiler.BaseName(a.Name)
+		if !seen[base] {
+			seen[base] = true
+			preds = append(preds, base)
+		}
+	}
+	s.mu.Lock()
+	s.entries[fp] = &planEntry{
+		fingerprint: fp,
+		head:        r.HeadName,
+		source:      r.Source,
+		order:       append([]int(nil), res.Order...),
+		sampleCost:  res.Cost,
+		evaluated:   res.Evaluated,
+		cards:       cards,
+		preds:       preds,
+	}
+	s.mu.Unlock()
+	return res, false, nil
+}
+
+// Observe feeds one real rule evaluation's iterator-operation count back
+// into the cache. The first observation after plan choice fixes the
+// baseline of the obs-fed cost model; a later evaluation exceeding
+// DriftFactor × baseline marks the entry stale, so the next Choose
+// re-runs sampling instead of trusting the cached order.
+func (s *PlanStore) Observe(r *compiler.RulePlan, ops int64) {
+	if s == nil {
+		return
+	}
+	fp := Fingerprint(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fp]
+	if !ok {
+		return
+	}
+	e.obsEvals++
+	e.obsOps += ops
+	e.lastOps = ops
+	if e.baselineOps == 0 {
+		e.baselineOps = ops
+		if e.baselineOps < driftFloor {
+			e.baselineOps = driftFloor
+		}
+		return
+	}
+	if float64(ops) > s.opts.DriftFactor*float64(e.baselineOps) {
+		e.stale = true
+	}
+}
+
+// InvalidatePreds drops every cached plan whose rule reads one of the
+// named predicates (base names). The meta-engine calls this on schema
+// changes so stale plans never outlive the logic they were chosen for.
+func (s *PlanStore) InvalidatePreds(names map[string]bool) {
+	if s == nil || len(names) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for fp, e := range s.entries {
+		drop := names[compiler.BaseName(e.head)]
+		for _, p := range e.preds {
+			if drop {
+				break
+			}
+			drop = names[p]
+		}
+		if drop {
+			delete(s.entries, fp)
+			s.invalidated++
+		}
+	}
+}
+
+// InvalidateAll empties the cache.
+func (s *PlanStore) InvalidateAll() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidated += int64(len(s.entries))
+	s.entries = map[string]*planEntry{}
+}
+
+// Len returns the number of cached plans.
+func (s *PlanStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// StoreStats summarize the cache's traffic since creation.
+type StoreStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Redecisions int64 `json:"redecisions"`
+	Invalidated int64 `json:"invalidated"`
+}
+
+// Stats returns the cache's traffic counters.
+func (s *PlanStore) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Hits: s.hits, Misses: s.misses, Redecisions: s.redecisions, Invalidated: s.invalidated}
+}
+
+// PlanSnapshot is the structured value of one cached plan.
+type PlanSnapshot struct {
+	Head        string `json:"head"`
+	Source      string `json:"source"`
+	Order       []int  `json:"order"`
+	SampleCost  int    `json:"sample_cost"`
+	Evaluated   int    `json:"evaluated"`
+	Hits        int64  `json:"hits"`
+	ObsEvals    int64  `json:"obs_evals"`
+	ObsOps      int64  `json:"obs_ops"`
+	BaselineOps int64  `json:"baseline_ops"`
+	LastOps     int64  `json:"last_ops"`
+	Stale       bool   `json:"stale,omitempty"`
+}
+
+// Snapshot copies every cached plan, sorted by head then source.
+func (s *PlanStore) Snapshot() []PlanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PlanSnapshot, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, PlanSnapshot{
+			Head:        e.head,
+			Source:      e.source,
+			Order:       append([]int(nil), e.order...),
+			SampleCost:  e.sampleCost,
+			Evaluated:   e.evaluated,
+			Hits:        e.hits,
+			ObsEvals:    e.obsEvals,
+			ObsOps:      e.obsOps,
+			BaselineOps: e.baselineOps,
+			LastOps:     e.lastOps,
+			Stale:       e.stale,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Head != out[j].Head {
+			return out[i].Head < out[j].Head
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// FormatPlanTable renders a plan-store snapshot as an aligned text table
+// (the REPL's :plans command).
+func FormatPlanTable(stats StoreStats, plans []PlanSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan cache: %d plans, %d hits, %d misses, %d redecisions, %d invalidated\n",
+		len(plans), stats.Hits, stats.Misses, stats.Redecisions, stats.Invalidated)
+	if len(plans) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s %-12s %10s %6s %9s %9s %6s  %s\n",
+		"HEAD", "ORDER", "SAMPLECOST", "HITS", "OBS_OPS", "BASELINE", "STALE", "SOURCE")
+	for _, p := range plans {
+		order := make([]string, len(p.Order))
+		for i, o := range p.Order {
+			order[i] = fmt.Sprint(o)
+		}
+		stale := ""
+		if p.Stale {
+			stale = "stale"
+		}
+		src := p.Source
+		if len(src) > 60 {
+			src = src[:57] + "..."
+		}
+		fmt.Fprintf(&b, "%-14s %-12s %10d %6d %9d %9d %6s  %s\n",
+			p.Head, strings.Join(order, ","), p.SampleCost, p.Hits, p.ObsOps, p.BaselineOps, stale, src)
+	}
+	return b.String()
+}
+
+// inputCards snapshots the cardinality of each distinct body predicate.
+func inputCards(r *compiler.RulePlan, rels func(name string) relation.Relation) map[string]int {
+	out := make(map[string]int, len(r.Atoms))
+	for _, a := range r.Atoms {
+		if _, ok := out[a.Name]; !ok {
+			out[a.Name] = rels(a.Name).Len()
+		}
+	}
+	return out
+}
+
+// cardsFresh reports whether current input cardinalities are within
+// ratio of the ones recorded at plan-choice time. The +1 smoothing keeps
+// empty-relation transitions from dividing by zero while still flagging
+// 0→many growth.
+func cardsFresh(old, cur map[string]int, ratio float64) bool {
+	for name, c := range cur {
+		o, ok := old[name]
+		if !ok {
+			return false
+		}
+		grow := float64(c+1) / float64(o+1)
+		if grow > ratio || grow < 1/ratio {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package optimizer_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/engine"
+	"logicblox/internal/optimizer"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// Property: every order CandidateOrders returns is a valid permutation
+// of [0, n), there are no duplicates, the identity is always among
+// them, and the count respects the cap.
+func TestCandidateOrdersProperties(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for _, max := range []int{0, 1, 2, 6, 24, 1000} {
+			orders := optimizer.CandidateOrders(n, max)
+			effMax := max
+			if effMax <= 0 {
+				effMax = 24
+			}
+			if n > 0 && len(orders) == 0 {
+				t.Fatalf("n=%d max=%d: no candidates", n, max)
+			}
+			seen := map[string]bool{}
+			for _, o := range orders {
+				if len(o) != n {
+					t.Fatalf("n=%d max=%d: order %v has wrong length", n, max, o)
+				}
+				hit := make([]bool, n)
+				for _, s := range o {
+					if s < 0 || s >= n || hit[s] {
+						t.Fatalf("n=%d max=%d: %v is not a permutation", n, max, o)
+					}
+					hit[s] = true
+				}
+				k := fmt.Sprint(o)
+				if seen[k] {
+					t.Fatalf("n=%d max=%d: duplicate order %v", n, max, o)
+				}
+				seen[k] = true
+			}
+			// The cap bounds the enumeration whenever it kicks in; the
+			// full-permutation family is returned only when it fits.
+			if len(orders) > effMax && len(orders) != fact(n) {
+				t.Fatalf("n=%d max=%d: %d orders exceed cap", n, max, len(orders))
+			}
+			if n > 0 && n <= 4 && effMax >= fact(n) {
+				if len(orders) != fact(n) {
+					t.Fatalf("n=%d max=%d: %d orders, want all %d permutations", n, max, len(orders), fact(n))
+				}
+				if !seen[fmt.Sprint(identity(n))] {
+					t.Fatalf("n=%d max=%d: identity missing", n, max)
+				}
+			}
+		}
+	}
+}
+
+func fact(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Property: ReorderRule(r, order) round-trips — reordering with any
+// candidate order then evaluating yields exactly the tuples of the
+// identity plan, on randomized rule shapes and data.
+func TestReorderRuleEvaluationEquivalence(t *testing.T) {
+	shapes := []string{
+		`out(a, c) <- r(a, b), s(b, c).`,
+		`out(a, b, c) <- r(a, b), s(b, c), t(c).`,
+		`out(a, d) <- r(a, b), s(b, c), u(c, d).`,
+		`out(a, b, c, d) <- r(a, b), s(b, c), u(c, d), r(d, a).`,
+	}
+	for si, shape := range shapes {
+		prog, rule := compileRule(t, shape)
+		rng := rand.New(rand.NewSource(int64(si) + 7))
+		base := map[string]relation.Relation{
+			"r": relation.New(2), "s": relation.New(2),
+			"t": relation.New(1), "u": relation.New(2),
+		}
+		for i := 0; i < 120; i++ {
+			base["r"] = base["r"].Insert(tuple.Ints(rng.Int63n(9), rng.Int63n(9)))
+			base["s"] = base["s"].Insert(tuple.Ints(rng.Int63n(9), rng.Int63n(9)))
+			base["u"] = base["u"].Insert(tuple.Ints(rng.Int63n(9), rng.Int63n(9)))
+		}
+		base["t"] = base["t"].Insert(tuple.Ints(rng.Int63n(9)))
+
+		want, err := engine.NewContext(prog, base, engine.Options{}).EvalRule(rule, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		for _, order := range optimizer.CandidateOrders(rule.NumJoinVars, 0) {
+			plan, err := compiler.ReorderRule(rule, order)
+			if err != nil {
+				t.Fatalf("%s order %v: %v", shape, order, err)
+			}
+			// The reordered plan is a permutation of the same rule, not a
+			// different one: head and structural identity are preserved.
+			if plan.HeadName != rule.HeadName || len(plan.Atoms) != len(rule.Atoms) {
+				t.Fatalf("%s order %v: reorder changed rule shape", shape, order)
+			}
+			got, err := engine.NewContext(prog, base, engine.Options{}).EvalRule(plan, nil)
+			if err != nil {
+				t.Fatalf("%s order %v: %v", shape, order, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s order %v: %d tuples != identity's %d", shape, order, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+// Property: ChooseOrder's Evaluated never exceeds the candidate count
+// for the cap, and its chosen Order is itself a valid permutation that
+// CandidateOrders could have produced.
+func TestChooseOrderWithinCandidateSet(t *testing.T) {
+	_, rule := compileRule(t, `out(a, b, c) <- r(a, b), s(b, c), t(c).`)
+	base := map[string]relation.Relation{"r": relation.New(2), "s": relation.New(2), "t": relation.New(1)}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		base["r"] = base["r"].Insert(tuple.Ints(rng.Int63n(20), rng.Int63n(20)))
+		base["s"] = base["s"].Insert(tuple.Ints(rng.Int63n(20), rng.Int63n(20)))
+	}
+	base["t"] = base["t"].Insert(tuple.Ints(3))
+	rels := func(name string) relation.Relation { return base[name] }
+
+	for _, max := range []int{1, 2, 4, 24} {
+		res, err := optimizer.ChooseOrder(rule, rels, optimizer.Options{MaxCandidates: max})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := optimizer.CandidateOrders(rule.NumJoinVars, max)
+		if res.Evaluated > len(cands) {
+			t.Fatalf("max=%d: evaluated %d > %d candidates", max, res.Evaluated, len(cands))
+		}
+		var member bool
+		for _, o := range cands {
+			if fmt.Sprint(o) == fmt.Sprint(res.Order) {
+				member = true
+				break
+			}
+		}
+		if !member {
+			t.Fatalf("max=%d: chosen order %v not among candidates %v", max, res.Order, cands)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package solver
 
 import (
 	"math"
+
+	"logicblox/internal/obs"
 )
 
 // SolveMIP maximizes the problem with integrality on the variables marked
@@ -17,7 +19,9 @@ func SolveMIP(p *Problem) (*Solution, error) {
 		return relaxed, nil
 	}
 	best := &Solution{Status: Infeasible, Objective: math.Inf(-1)}
-	err = branch(p, nil, relaxed, best, 0)
+	var nodes int64
+	err = branch(p, nil, relaxed, best, 0, &nodes)
+	obs.Default().Counter("solver.bnb.nodes").Add(nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -37,7 +41,8 @@ type bound struct {
 
 const intTol = 1e-6
 
-func branch(p *Problem, bounds []bound, relaxed *Solution, best *Solution, depth int) error {
+func branch(p *Problem, bounds []bound, relaxed *Solution, best *Solution, depth int, nodes *int64) error {
+	*nodes++
 	if depth > 200 {
 		return nil
 	}
@@ -87,7 +92,7 @@ func branch(p *Problem, bounds []bound, relaxed *Solution, best *Solution, depth
 		if err != nil {
 			return err
 		}
-		if err := branch(&sub, append(bounds, b), rel, best, depth+1); err != nil {
+		if err := branch(&sub, append(bounds, b), rel, best, depth+1, nodes); err != nil {
 			return err
 		}
 	}

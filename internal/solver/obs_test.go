@@ -1,0 +1,65 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"logicblox/internal/obs"
+)
+
+// TestSolverRecordsObsCounters checks the solver publishes its work to
+// the process-wide registry: simplex pivots for LP solves, and branch-
+// and-bound nodes for MIP solves.
+func TestSolverRecordsObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 — needs at least one pivot.
+	lp := &Problem{
+		NumVars:   2,
+		Objective: []float64{3, 2},
+		Constraints: []LinConstraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1}, Op: LE, RHS: 4},
+			{Coeffs: map[int]float64{0: 1, 1: 3}, Op: LE, RHS: 6},
+		},
+	}
+	s, err := SolveLP(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("LP status = %v", s.Status)
+	}
+	pivots := reg.Snapshot().Counters["solver.simplex.pivots"]
+	if pivots == 0 {
+		t.Fatal("no simplex pivots recorded")
+	}
+
+	// A knapsack whose relaxation is fractional forces branching.
+	mip := &Problem{
+		NumVars:   3,
+		Objective: []float64{5, 4, 3},
+		Integer:   []bool{true, true, true},
+		Constraints: []LinConstraint{
+			{Coeffs: map[int]float64{0: 2, 1: 3, 2: 1}, Op: LE, RHS: 5},
+			{Coeffs: map[int]float64{0: 1}, Op: LE, RHS: 1},
+			{Coeffs: map[int]float64{1: 1}, Op: LE, RHS: 1},
+			{Coeffs: map[int]float64{2: 1}, Op: LE, RHS: 1},
+		},
+	}
+	ms, err := SolveMIP(mip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Status != Optimal || math.Abs(ms.Objective-9) > 1e-6 {
+		t.Fatalf("MIP solution = %+v", ms)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["solver.bnb.nodes"] == 0 {
+		t.Fatal("no branch-and-bound nodes recorded")
+	}
+	if snap.Counters["solver.simplex.pivots"] <= pivots {
+		t.Fatal("MIP relaxations recorded no additional pivots")
+	}
+}

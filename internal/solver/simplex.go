@@ -10,6 +10,8 @@ package solver
 import (
 	"fmt"
 	"math"
+
+	"logicblox/internal/obs"
 )
 
 // ConstraintOp relates a linear expression to its right-hand side.
@@ -291,6 +293,8 @@ func objCoeff(p *Problem, i int) float64 {
 // entries; we use the convention that we pivot while some obj[j] > eps).
 func pivotLoop(t [][]float64, basis []int, obj []float64, total int, forbidden []bool) Status {
 	m := len(t)
+	pivots := 0
+	defer func() { obs.Default().Counter("solver.simplex.pivots").Add(int64(pivots)) }()
 	for iter := 0; iter < 20000; iter++ {
 		// Entering column: Bland's rule (first positive reduced cost).
 		col := -1
@@ -321,6 +325,7 @@ func pivotLoop(t [][]float64, basis []int, obj []float64, total int, forbidden [
 		if row < 0 {
 			return Unbounded
 		}
+		pivots++
 		pivot(t, basis, row, col)
 		f := obj[col]
 		if math.Abs(f) > eps {

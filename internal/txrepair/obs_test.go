@@ -1,0 +1,59 @@
+package txrepair
+
+import (
+	"testing"
+
+	"logicblox/internal/obs"
+)
+
+// TestRunnersRecordObsCounters checks both concurrency executors publish
+// their statistics to the process-wide registry: repair counts and
+// conflicting transactions for the repair circuit, lock waits for the
+// two-phase-locking baseline.
+func TestRunnersRecordObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(nil)
+
+	// α so high every transaction touches every item: conflicts certain.
+	store, txs := InventoryWorkload(16, 32, 4.0, 1)
+	_, stats := RunRepair(store, txs, 4)
+	if stats.Repairs == 0 || stats.Conflicts == 0 {
+		t.Fatalf("workload produced no conflicts: %+v", stats)
+	}
+	if stats.Conflicts > stats.Transactions || stats.Conflicts > stats.Repairs {
+		t.Fatalf("conflicts out of range: %+v", stats)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["txrepair.transactions"]; got != int64(stats.Transactions) {
+		t.Fatalf("txrepair.transactions = %d, want %d", got, stats.Transactions)
+	}
+	if got := snap.Counters["txrepair.repairs"]; got != int64(stats.Repairs) {
+		t.Fatalf("txrepair.repairs = %d, want %d", got, stats.Repairs)
+	}
+	if got := snap.Counters["txrepair.conflicts"]; got != int64(stats.Conflicts) {
+		t.Fatalf("txrepair.conflicts = %d, want %d", got, stats.Conflicts)
+	}
+
+	_, lstats := RunLocking(store, txs, 4)
+	snap = reg.Snapshot()
+	if got := snap.Counters["txrepair.transactions"]; got != int64(stats.Transactions+lstats.Transactions) {
+		t.Fatalf("txrepair.transactions = %d after locking run, want %d", got, stats.Transactions+lstats.Transactions)
+	}
+	if got := snap.Counters["txrepair.lock_waits"]; got != int64(lstats.LockWaits) {
+		t.Fatalf("txrepair.lock_waits = %d, want %d", got, lstats.LockWaits)
+	}
+}
+
+// TestRunnersNoRegistryIsNoOp: without an installed registry the
+// executors must run unchanged (nil-handle fast path).
+func TestRunnersNoRegistryIsNoOp(t *testing.T) {
+	obs.SetDefault(nil)
+	store, txs := InventoryWorkload(8, 8, 1.0, 2)
+	if _, stats := RunRepair(store, txs, 2); stats.Transactions != 8 {
+		t.Fatalf("repair stats = %+v", stats)
+	}
+	if _, stats := RunLocking(store, txs, 2); stats.Transactions != 8 {
+		t.Fatalf("locking stats = %+v", stats)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"logicblox/internal/obs"
 	"logicblox/internal/tuple"
 )
 
@@ -13,7 +14,18 @@ import (
 type Stats struct {
 	Transactions int
 	Repairs      int // ops recomputed during repair (repair executor only)
+	Conflicts    int // transactions that needed any repair (repair executor only)
 	LockWaits    int // lock acquisitions that blocked (locking executor only)
+}
+
+// record publishes a run's statistics to the process-wide observability
+// registry (a no-op when none is installed).
+func (s Stats) record() {
+	reg := obs.Default()
+	reg.Counter("txrepair.transactions").Add(int64(s.Transactions))
+	reg.Counter("txrepair.repairs").Add(int64(s.Repairs))
+	reg.Counter("txrepair.conflicts").Add(int64(s.Conflicts))
+	reg.Counter("txrepair.lock_waits").Add(int64(s.LockWaits))
 }
 
 // RunSerial executes transactions one after another (the 1-core
@@ -79,8 +91,11 @@ func RunRepair(base Store, txs []*Tx, workers int) (Store, Stats) {
 	stats := Stats{Transactions: len(txs)}
 	if len(level) == 1 {
 		stats.Repairs = level[0].Repairs()
+		stats.Conflicts = level[0].Conflicts()
+		stats.record()
 		return level[0].Apply(base), stats
 	}
+	stats.record()
 	return base, stats
 }
 
@@ -172,7 +187,9 @@ func RunLocking(base Store, txs []*Tx, workers int) (Store, Stats) {
 	for k, i := range ls.index {
 		out = out.Set(k, ls.vals[i])
 	}
-	return out, Stats{Transactions: len(txs), LockWaits: int(waits)}
+	stats := Stats{Transactions: len(txs), LockWaits: int(waits)}
+	stats.record()
+	return out, stats
 }
 
 // txKeys returns the sorted, deduplicated set of keys a transaction

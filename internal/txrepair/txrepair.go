@@ -156,6 +156,19 @@ func (e *Executed) Repairs() int {
 	return e.repairs
 }
 
+// Conflicts counts the leaf transactions that needed any repair: the
+// transactions whose sensitivities intersected an earlier transaction's
+// effects.
+func (e *Executed) Conflicts() int {
+	if e.left != nil {
+		return e.left.Conflicts() + e.right.Conflicts()
+	}
+	if e.repairs > 0 {
+		return 1
+	}
+	return 0
+}
+
 // Correct delivers corrections (effects of an earlier transaction) and
 // incrementally repairs: only operations that read a corrected key are
 // recomputed (paper Figure 7a). It returns the number of ops recomputed.

@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"logicblox/internal/core"
+	"logicblox/internal/optimizer"
 	"logicblox/internal/relation"
 	"logicblox/internal/solver"
 	"logicblox/internal/tuple"
@@ -51,6 +52,24 @@ type VersionEntry = core.VersionEntry
 
 // Solution is the outcome of a prescriptive-analytics solve.
 type Solution = solver.Solution
+
+// PlanStore is the adaptive optimizer's cross-transaction plan cache:
+// chosen variable orders keyed by rule fingerprint, reused until the
+// engine's observed costs or input cardinalities drift. Attach one to a
+// workspace lineage with Workspace.WithAdaptiveOptimizer(true).
+type PlanStore = optimizer.PlanStore
+
+// PlanSnapshot is the structured value of one cached plan.
+type PlanSnapshot = optimizer.PlanSnapshot
+
+// PlanStoreStats summarize a plan cache's hit/miss/redecision traffic.
+type PlanStoreStats = optimizer.StoreStats
+
+// FormatPlanTable renders a plan-store snapshot as an aligned text table
+// (the REPL's :plans command).
+func FormatPlanTable(stats PlanStoreStats, plans []PlanSnapshot) string {
+	return optimizer.FormatPlanTable(stats, plans)
+}
 
 // Relation is an immutable set of tuples (persistent storage).
 type Relation = relation.Relation
