@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest
+.PHONY: ci build vet test race fmt-check bench difftest serve-test
 
-ci: fmt-check vet build race difftest
+ci: fmt-check vet build race difftest serve-test
 
 # The differential harness: generated programs evaluated by the LFTJ
 # engine (every candidate order, plan cache cold and warm) and by all
 # IVM modes must match a naive reference evaluator, race-detector on.
 difftest:
 	$(GO) test -race -run 'Differential' -count=1 ./internal/engine/
+
+# The HTTP end-to-end suite (httptest): concurrent conflicting writers,
+# deadline propagation into the fixpoint, error mapping, drain, pool
+# rejection, panic recovery, save/load over the wire — race-detector on.
+serve-test:
+	$(GO) test -race -count=1 ./internal/server/
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,132 @@
+// Command lb-serve exposes a logicblox database over HTTP. Requests run
+// as concurrent transactions with optimistic commits, per-request
+// deadlines honored inside the engine, and Prometheus metrics on
+// /metrics; see docs/server.md for the API.
+//
+// Usage:
+//
+//	lb-serve [-addr :8080] [-workers N] [-queue N] [-timeout 30s]
+//	         [-retries 3] [-adaptive-opt] [-snapshot file]
+//
+// With -snapshot, the database is loaded from the file at startup (if it
+// exists) and written back there on shutdown. On SIGINT/SIGTERM the
+// server drains: new requests get 503 + Retry-After while in-flight
+// transactions finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"logicblox"
+	"logicblox/internal/core"
+	"logicblox/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently executing transactions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a worker before 503 (0 = 64)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	retries := flag.Int("retries", 3, "max optimistic re-executions after commit conflicts")
+	adaptive := flag.Bool("adaptive-opt", false, "feedback-driven join-order optimization with a cached plan store")
+	snapshot := flag.String("snapshot", "", "load the database from this file at startup and save it on shutdown")
+	grace := flag.Duration("grace", 15*time.Second, "max time to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	db, err := openDatabase(*snapshot, *adaptive)
+	if err != nil {
+		log.Fatalf("lb-serve: %v", err)
+	}
+
+	reg := logicblox.NewObsRegistry()
+	logicblox.EnableStorageStats(true)
+	s := server.New(db, server.Config{
+		Workers:    *workers,
+		Queue:      *queue,
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+		Obs:        reg,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	go func() {
+		log.Printf("lb-serve: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("lb-serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	// Graceful shutdown: reject new work immediately, then drain.
+	log.Printf("lb-serve: draining (%d in flight)", s.Inflight())
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("lb-serve: shutdown: %v", err)
+	}
+
+	if *snapshot != "" {
+		if err := saveDatabase(*snapshot, s.Database()); err != nil {
+			log.Fatalf("lb-serve: save snapshot: %v", err)
+		}
+		log.Printf("lb-serve: snapshot written to %s", *snapshot)
+	}
+}
+
+// openDatabase loads the snapshot when one is named and present,
+// otherwise opens a fresh database.
+func openDatabase(path string, adaptive bool) (*core.Database, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err == nil {
+			defer f.Close()
+			db, err := logicblox.LoadDatabase(f)
+			if err != nil {
+				return nil, fmt.Errorf("load %s: %w", path, err)
+			}
+			log.Printf("lb-serve: loaded snapshot %s (%d versions)", path, db.Versions())
+			return db, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	var opts []logicblox.Option
+	if adaptive {
+		opts = append(opts, logicblox.WithAdaptiveOptimizer())
+	}
+	return logicblox.Open(opts...), nil
+}
+
+// saveDatabase writes the snapshot atomically (write-rename) so a crash
+// mid-save cannot corrupt the previous one.
+func saveDatabase(path string, db *core.Database) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -60,12 +60,12 @@ func main() {
 	adaptive := flag.Bool("adaptive-opt", false, "feedback-driven join-order optimization with a cached plan store")
 	flag.Parse()
 
-	r := &repl{db: logicblox.Open(), branch: logicblox.DefaultBranch, out: os.Stdout}
-	r.enableObs(*stats, *trace)
+	var opts []logicblox.Option
 	if *adaptive {
-		ws := must(r.db.Workspace(r.branch))
-		r.commit(ws.WithAdaptiveOptimizer(true))
+		opts = append(opts, logicblox.WithAdaptiveOptimizer())
 	}
+	r := &repl{db: logicblox.Open(opts...), branch: logicblox.DefaultBranch, out: os.Stdout}
+	r.enableObs(*stats, *trace)
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 

@@ -27,8 +27,12 @@ type VersionEntry struct {
 const DefaultBranch = "main"
 
 // NewDatabase returns a database with an empty workspace on "main".
-func NewDatabase() *Database {
-	ws := NewWorkspace()
+func NewDatabase() *Database { return NewDatabaseWith(NewWorkspace()) }
+
+// NewDatabaseWith returns a database whose main branch starts at ws —
+// the hook the functional options of logicblox.Open use to configure
+// the root workspace (optimizer, observer) before the first commit.
+func NewDatabaseWith(ws *Workspace) *Database {
 	return &Database{
 		branches: map[string]*Workspace{DefaultBranch: ws},
 		history:  []VersionEntry{{Branch: DefaultBranch, Workspace: ws}},
@@ -41,7 +45,7 @@ func (db *Database) Workspace(branch string) (*Workspace, error) {
 	defer db.mu.RUnlock()
 	ws, ok := db.branches[branch]
 	if !ok {
-		return nil, fmt.Errorf("unknown branch %s", branch)
+		return nil, fmt.Errorf("unknown branch %s: %w", branch, ErrNoSuchBranch)
 	}
 	return ws, nil
 }
@@ -53,10 +57,10 @@ func (db *Database) Branch(from, to string) error {
 	defer db.mu.Unlock()
 	src, ok := db.branches[from]
 	if !ok {
-		return fmt.Errorf("unknown branch %s", from)
+		return fmt.Errorf("unknown branch %s: %w", from, ErrNoSuchBranch)
 	}
 	if _, exists := db.branches[to]; exists {
-		return fmt.Errorf("branch %s already exists", to)
+		return fmt.Errorf("branch %s: %w", to, ErrBranchExists)
 	}
 	db.branches[to] = src
 	return nil
@@ -67,10 +71,10 @@ func (db *Database) BranchAt(version int, to string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if version < 0 || version >= len(db.history) {
-		return fmt.Errorf("version %d out of range", version)
+		return fmt.Errorf("version %d out of range: %w", version, ErrNoSuchBranch)
 	}
 	if _, exists := db.branches[to]; exists {
-		return fmt.Errorf("branch %s already exists", to)
+		return fmt.Errorf("branch %s: %w", to, ErrBranchExists)
 	}
 	db.branches[to] = db.history[version].Workspace
 	return nil
@@ -85,7 +89,7 @@ func (db *Database) DeleteBranch(name string) error {
 		return fmt.Errorf("cannot delete %s", DefaultBranch)
 	}
 	if _, ok := db.branches[name]; !ok {
-		return fmt.Errorf("unknown branch %s", name)
+		return fmt.Errorf("unknown branch %s: %w", name, ErrNoSuchBranch)
 	}
 	delete(db.branches, name)
 	return nil
@@ -97,7 +101,29 @@ func (db *Database) Commit(branch string, ws *Workspace) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.branches[branch]; !ok {
-		return fmt.Errorf("unknown branch %s", branch)
+		return fmt.Errorf("unknown branch %s: %w", branch, ErrNoSuchBranch)
+	}
+	db.branches[branch] = ws
+	db.history = append(db.history, VersionEntry{Branch: branch, Workspace: ws})
+	return nil
+}
+
+// CommitIf is the optimistic-concurrency commit (paper §3.4's snapshot
+// model without the fine-grained repair): it makes ws the new head of
+// branch only if the head is still parent — the snapshot the transaction
+// executed against. If another transaction committed in between, it
+// returns ErrConflict and the caller re-executes against the new head
+// (coarse-grained repair) or surfaces the conflict. The compare-and-swap
+// and the history append are atomic under the database lock.
+func (db *Database) CommitIf(branch string, parent, ws *Workspace) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	head, ok := db.branches[branch]
+	if !ok {
+		return fmt.Errorf("unknown branch %s: %w", branch, ErrNoSuchBranch)
+	}
+	if head != parent {
+		return fmt.Errorf("branch %s moved since snapshot: %w", branch, ErrConflict)
 	}
 	db.branches[branch] = ws
 	db.history = append(db.history, VersionEntry{Branch: branch, Workspace: ws})

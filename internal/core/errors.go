@@ -1,0 +1,32 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors for the public transaction surface. Every error
+// returned by Database and Workspace operations that corresponds to one
+// of these conditions wraps the matching sentinel, so callers dispatch
+// with errors.Is instead of string matching — the HTTP layer
+// (internal/server) maps them onto status codes:
+//
+//	ErrNoSuchBranch → 404    ErrConflict, ErrBranchExists → 409
+//	ErrParse        → 400    ErrTypecheck                 → 422
+//	ErrConstraint   → 409    context.DeadlineExceeded     → 504
+var (
+	// ErrNoSuchBranch marks operations on a branch name that does not
+	// exist (or a version index out of range).
+	ErrNoSuchBranch = errors.New("no such branch")
+	// ErrBranchExists marks branch creation over an existing name.
+	ErrBranchExists = errors.New("branch already exists")
+	// ErrConflict marks an optimistic commit that lost the race: the
+	// branch head moved since the transaction's snapshot was taken. It
+	// also covers installing a block under a name already taken.
+	ErrConflict = errors.New("conflict")
+	// ErrParse marks LogiQL source that failed to parse.
+	ErrParse = errors.New("parse error")
+	// ErrTypecheck marks source that parsed but failed compilation
+	// (arity mismatches, modifying derived predicates, bad directives).
+	ErrTypecheck = errors.New("typecheck error")
+	// ErrConstraint marks a transaction aborted by integrity-constraint
+	// violations.
+	ErrConstraint = errors.New("integrity constraint violation")
+)

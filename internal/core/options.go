@@ -1,0 +1,24 @@
+package core
+
+import "logicblox/internal/obs"
+
+// Option is a functional configuration of a workspace, applied by
+// logicblox.Open to the root workspace before the first commit so the
+// whole lineage inherits it.
+type Option func(*Workspace) *Workspace
+
+// OptOptimizer enables the sampling-based join-order optimizer.
+func OptOptimizer() Option {
+	return func(ws *Workspace) *Workspace { return ws.WithOptimizer(true) }
+}
+
+// OptAdaptiveOptimizer enables the adaptive optimizer with a fresh plan
+// store.
+func OptAdaptiveOptimizer() Option {
+	return func(ws *Workspace) *Workspace { return ws.WithAdaptiveOptimizer(true) }
+}
+
+// OptObserver attaches a metrics registry to the lineage.
+func OptObserver(reg *obs.Registry) Option {
+	return func(ws *Workspace) *Workspace { return ws.WithObserver(reg) }
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"sort"
 
 	"logicblox/internal/ast"
+	"logicblox/internal/optimizer"
 	"logicblox/internal/parser"
 	"logicblox/internal/relation"
 	"logicblox/internal/tuple"
@@ -31,6 +33,13 @@ type snapshotWorkspace struct {
 	Blocks map[string]string
 	Base   map[string][][]valueDTO
 	Arity  map[string]int
+	// Adaptive records that the branch ran with the feedback-driven
+	// adaptive optimizer; Plans carries its plan store's learned orders
+	// (keyed by structural rule fingerprints, which survive restarts) so
+	// restored workspaces reuse them instead of re-sampling. Gob leaves
+	// both zero when restoring pre-plan-store snapshots.
+	Adaptive bool
+	Plans    []optimizer.SavedPlan
 }
 
 type snapshotDB struct {
@@ -101,6 +110,10 @@ func (ws *Workspace) snapshot() snapshotWorkspace {
 		out.Arity[pred] = rel.Arity()
 		return true
 	})
+	if ws.plans != nil {
+		out.Adaptive = true
+		out.Plans = ws.plans.Export()
+	}
 	return out
 }
 
@@ -140,7 +153,7 @@ func RestoreWorkspace(blocks map[string]string, base map[string][]tuple.Tuple, a
 	for _, name := range compiled.IDBPreds {
 		dirty[name] = true
 	}
-	out, err := ws.rederive(dirty, nil)
+	out, err := ws.rederive(context.Background(), dirty, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +208,15 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		ws, err := RestoreWorkspace(sw.Blocks, base, sw.Arity)
 		if err != nil {
 			return nil, fmt.Errorf("core: restoring branch %s: %w", name, err)
+		}
+		if sw.Adaptive {
+			// Re-arm the adaptive optimizer with the learned orders. One
+			// nuance versus the live process: a plan store is shared by
+			// every branch derived from the workspace it was attached to,
+			// but the snapshot records it per branch head, so after a
+			// restore each branch continues with its own copy.
+			ws = ws.WithAdaptiveOptimizer(true)
+			ws.plans.Seed(sw.Plans)
 		}
 		db.branches[name] = ws
 		db.history = append(db.history, VersionEntry{Branch: name, Workspace: ws})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"logicblox/internal/solver"
@@ -35,7 +36,7 @@ func (ws *Workspace) Solve() (*Workspace, *solver.Solution, error) {
 		out.base = out.base.Set(pred, rel)
 		dirty[pred] = true
 	}
-	res, err := out.rederive(dirty, nil)
+	res, err := out.rederive(context.Background(), dirty, nil)
 	if err != nil {
 		return nil, sol, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"logicblox/internal/ast"
@@ -18,16 +19,23 @@ import (
 // change dirties; only those are re-materialized (live programming,
 // §3.3).
 func (ws *Workspace) AddBlock(name, src string) (*Workspace, error) {
+	return ws.AddBlockCtx(context.Background(), name, src)
+}
+
+// AddBlockCtx is AddBlock bounded by a context: cancellation or deadline
+// expiry stops the re-materialization at the next rule or fixpoint-round
+// boundary.
+func (ws *Workspace) AddBlockCtx(rctx context.Context, name, src string) (*Workspace, error) {
 	if ws.blocks.Contains(name) {
-		return nil, fmt.Errorf("block %s already installed", name)
+		return nil, fmt.Errorf("block %s already installed: %w", name, ErrConflict)
 	}
 	prog, err := parser.Parse(src)
 	if err != nil {
-		return nil, fmt.Errorf("block %s: %w", name, err)
+		return nil, fmt.Errorf("block %s: %w: %w", name, ErrParse, err)
 	}
 	newParsed := ws.parsedBlocks()
 	newParsed[name] = prog
-	return ws.reinstall(name, src, prog, newParsed)
+	return ws.reinstall(rctx, name, src, prog, newParsed)
 }
 
 // RemoveBlock uninstalls a block, restoring the workspace logic to its
@@ -38,24 +46,24 @@ func (ws *Workspace) RemoveBlock(name string) (*Workspace, error) {
 	}
 	newParsed := ws.parsedBlocks()
 	delete(newParsed, name)
-	return ws.reinstall(name, "", nil, newParsed)
+	return ws.reinstall(context.Background(), name, "", nil, newParsed)
 }
 
 // reinstall recompiles the workspace logic after a block change and
 // re-materializes exactly the dirty predicates.
-func (ws *Workspace) reinstall(name, src string, parsed *ast.Program, newParsed map[string]*ast.Program) (*Workspace, error) {
+func (ws *Workspace) reinstall(rctx context.Context, name, src string, parsed *ast.Program, newParsed map[string]*ast.Program) (*Workspace, error) {
 	sp, done := ws.txSpan("addblock")
-	out, err := ws.reinstallTraced(name, src, parsed, newParsed, sp)
+	out, err := ws.reinstallTraced(rctx, name, src, parsed, newParsed, sp)
 	done(err)
 	return out, err
 }
 
-func (ws *Workspace) reinstallTraced(name, src string, parsed *ast.Program, newParsed map[string]*ast.Program, sp *obs.Span) (*Workspace, error) {
+func (ws *Workspace) reinstallTraced(rctx context.Context, name, src string, parsed *ast.Program, newParsed map[string]*ast.Program, sp *obs.Span) (*Workspace, error) {
 	csp := sp.Child("compile")
 	compiled, err := compileBlocks(newParsed)
 	csp.End()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrTypecheck, err)
 	}
 	asp := sp.Child("analyze")
 	analysis, err := meta.Analyze(ws.parsedBlocks(), newParsed)
@@ -105,7 +113,7 @@ func (ws *Workspace) reinstallTraced(name, src string, parsed *ast.Program, newP
 	// an affected predicate, so the adaptive optimizer re-samples against
 	// the new logic instead of trusting stale orders.
 	out.plans.InvalidatePreds(dirty)
-	out, err = out.rederive(dirty, sp)
+	out, err = out.rederive(rctx, dirty, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -143,31 +151,42 @@ type ExecDelta struct {
 // On constraint violation the transaction aborts: the receiver workspace
 // is untouched (it is just a value) and an error is returned.
 func (ws *Workspace) Exec(src string) (*ExecResult, error) {
+	return ws.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec bounded by a context: cancellation or deadline expiry
+// stops the reactive evaluation and view re-derivation at the next rule
+// or fixpoint-round boundary, and the transaction aborts with ctx.Err()
+// wrapped (the receiver workspace is untouched, as for any abort).
+func (ws *Workspace) ExecCtx(rctx context.Context, src string) (*ExecResult, error) {
 	sp, done := ws.txSpan("exec")
-	res, err := ws.exec(src, sp)
+	res, err := ws.exec(rctx, src, sp)
 	done(err)
 	return res, err
 }
 
-func (ws *Workspace) exec(src string, sp *obs.Span) (*ExecResult, error) {
+func (ws *Workspace) exec(rctx context.Context, src string, sp *obs.Span) (*ExecResult, error) {
 	psp := sp.Child("parse")
 	eprog, err := parser.Parse(src)
 	psp.End()
 	if err != nil {
-		return nil, fmt.Errorf("exec parse: %w", err)
+		return nil, fmt.Errorf("exec %w: %w", ErrParse, err)
 	}
 	csp := sp.Child("compile")
 	combined, err := compileBlocks(ws.parsedBlocks(), eprog)
 	csp.End()
 	if err != nil {
-		return nil, fmt.Errorf("exec compile: %w", err)
+		return nil, fmt.Errorf("exec %w: %w", ErrTypecheck, err)
 	}
 
 	// Seed the evaluation context: current contents plus @start versions.
 	rels := ws.relations()
-	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer()})
-	for p := range combined.Preds {
-		ctx.Set(p+compiler.DecorAtStart, ws.Relation(p))
+	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer(), Ctx: rctx})
+	for p, info := range combined.Preds {
+		// relationOr, not Relation: a predicate first introduced by this
+		// transaction is unknown to ws.prog, and defaulting its @start
+		// arity would corrupt the delta application below.
+		ctx.Set(p+compiler.DecorAtStart, ws.relationOr(p, info.Arity))
 	}
 
 	// Evaluate reactive strata.
@@ -217,7 +236,7 @@ func (ws *Workspace) exec(src string, sp *obs.Span) (*ExecResult, error) {
 			continue
 		}
 		if !info.EDB {
-			return nil, fmt.Errorf("exec: cannot modify derived predicate %s", p)
+			return nil, fmt.Errorf("exec: %w: cannot modify derived predicate %s", ErrTypecheck, p)
 		}
 		start := ctx.Relation(p + compiler.DecorAtStart)
 		next := start.Difference(minus).Union(plus)
@@ -242,7 +261,7 @@ func (ws *Workspace) exec(src string, sp *obs.Span) (*ExecResult, error) {
 				continue
 			}
 			derivedRel := ctx.Relation(head)
-			cur := out.Relation(head)
+			cur := out.relationOr(head, derivedRel.Arity())
 			merged := cur.Union(derivedRel)
 			if !merged.Equal(cur) {
 				var d ExecDelta
@@ -268,7 +287,7 @@ func (ws *Workspace) exec(src string, sp *obs.Span) (*ExecResult, error) {
 	if len(dirty) == 0 {
 		return &ExecResult{Workspace: ws, BaseDeltas: deltas}, nil
 	}
-	res, err := out.rederive(dirty, sp)
+	res, err := out.rederive(rctx, dirty, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +342,7 @@ func (ws *Workspace) applyDirectTraced(pred string, ins, del []tuple.Tuple, sp *
 	}
 	out := ws.clone()
 	out.base = out.base.Set(pred, next)
-	res, err := out.rederive(map[string]bool{pred: true}, sp)
+	res, err := out.rederive(context.Background(), map[string]bool{pred: true}, sp)
 	if err != nil {
 		return nil, err
 	}

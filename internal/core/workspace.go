@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -117,6 +118,27 @@ func (ws *Workspace) Relation(name string) relation.Relation {
 	return relation.New(arity)
 }
 
+// Relations returns the full predicate → contents map (base and
+// derived) of this version. The map is freshly allocated; the relations
+// themselves are immutable persistent values.
+func (ws *Workspace) Relations() map[string]relation.Relation { return ws.relations() }
+
+// relationOr returns the current contents of a predicate, or an empty
+// relation of the given arity when the workspace holds no data for it.
+// Transactions use this with the arity of the program they compiled,
+// which — unlike ws.prog behind Relation — also knows predicates the
+// transaction introduces (data-first live programming: facts may arrive
+// before any logic mentions their predicate).
+func (ws *Workspace) relationOr(name string, arity int) relation.Relation {
+	if r, ok := ws.derived.Get(name); ok {
+		return r
+	}
+	if r, ok := ws.base.Get(name); ok {
+		return r
+	}
+	return relation.New(arity)
+}
+
 // relations materializes the full name → relation map for an engine
 // context.
 func (ws *Workspace) relations() map[string]relation.Relation {
@@ -165,12 +187,12 @@ func stratumKey(head string) string { return "rec\x00" + head }
 // the change propagates through the execution graph, and rules none of
 // whose dependencies changed reuse their stored results — the engine-side
 // half of live programming (paper Figure 6).
-func (ws *Workspace) rederive(dirty map[string]bool, parent *obs.Span) (*Workspace, error) {
+func (ws *Workspace) rederive(rctx context.Context, dirty map[string]bool, parent *obs.Span) (*Workspace, error) {
 	out := ws.clone()
 	reg := ws.Observer()
 	sp := parent.Child("rederive")
 	sp.SetAttr("dirty", int64(len(dirty)))
-	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize, Plans: out.plans, Obs: reg})
+	ctx := engine.NewContext(out.prog, out.relations(), engine.Options{Models: out.models, Optimize: out.optimize, Plans: out.plans, Obs: reg, Ctx: rctx})
 	ctx.SetSpan(sp)
 	var evals, reused int64
 	defer func() {
@@ -323,7 +345,7 @@ func (ws *Workspace) checkConstraints() error {
 	if len(vs) == 0 {
 		return nil
 	}
-	msg := fmt.Sprintf("transaction aborted: %d integrity constraint violation(s):", len(vs))
+	msg := ""
 	for i, v := range vs {
 		if i == 5 {
 			msg += fmt.Sprintf("\n  … and %d more", len(vs)-5)
@@ -331,7 +353,7 @@ func (ws *Workspace) checkConstraints() error {
 		}
 		msg += "\n  " + v.String()
 	}
-	return fmt.Errorf("%s", msg)
+	return fmt.Errorf("transaction aborted: %d %w(s):%s", len(vs), ErrConstraint, msg)
 }
 
 // Query runs a query transaction: src is a program with a designated
@@ -339,26 +361,33 @@ func (ws *Workspace) checkConstraints() error {
 // tuples. The workspace is unchanged (queries are read-only and run on
 // the branch's snapshot, paper §3.1).
 func (ws *Workspace) Query(src string) ([]tuple.Tuple, error) {
+	return ws.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query bounded by a context: cancellation or deadline
+// expiry stops the evaluation at the next rule or fixpoint-round
+// boundary and the transaction returns ctx.Err() wrapped.
+func (ws *Workspace) QueryCtx(rctx context.Context, src string) ([]tuple.Tuple, error) {
 	sp, done := ws.txSpan("query")
-	out, err := ws.query(src, sp)
+	out, err := ws.query(rctx, src, sp)
 	done(err)
 	return out, err
 }
 
-func (ws *Workspace) query(src string, sp *obs.Span) ([]tuple.Tuple, error) {
+func (ws *Workspace) query(rctx context.Context, src string, sp *obs.Span) ([]tuple.Tuple, error) {
 	psp := sp.Child("parse")
 	qprog, err := parser.Parse(src)
 	psp.End()
 	if err != nil {
-		return nil, fmt.Errorf("query parse: %w", err)
+		return nil, fmt.Errorf("query %w: %w", ErrParse, err)
 	}
 	csp := sp.Child("compile")
 	combined, err := compileBlocks(ws.parsedBlocks(), qprog)
 	csp.End()
 	if err != nil {
-		return nil, fmt.Errorf("query compile: %w", err)
+		return nil, fmt.Errorf("query %w: %w", ErrTypecheck, err)
 	}
-	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer()})
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer(), Ctx: rctx})
 	esp := sp.Child("eval")
 	ctx.SetSpan(esp)
 	// Evaluate only predicates that are not already materialized in the
@@ -406,7 +435,7 @@ func (ws *Workspace) Load(name string, tuples []tuple.Tuple) (*Workspace, error)
 	}
 	out := ws.clone()
 	out.base = out.base.Set(name, rel)
-	res, err := out.rederive(map[string]bool{name: true}, nil)
+	res, err := out.rederive(context.Background(), map[string]bool{name: true}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -51,6 +52,12 @@ type Options struct {
 	// if one is installed; otherwise instrumentation is off and costs one
 	// pointer test per rule evaluation.
 	Obs *obs.Registry
+	// Ctx, if non-nil, bounds the evaluation: cancellation and deadline
+	// expiry are honored at iteration boundaries — before each rule
+	// evaluation and at the top of every semi-naive fixpoint round — so a
+	// server request deadline stops a runaway recursive rule instead of
+	// letting the transaction spin (the evaluation returns ctx.Err()).
+	Ctx context.Context
 }
 
 // Context is an evaluation context: a compiled program plus the current
@@ -65,6 +72,7 @@ type Context struct {
 	planStore *optimizer.PlanStore
 	parallel  int
 	obs       *obs.Registry              // nil = instrumentation off
+	ctx       context.Context            // nil = unbounded evaluation
 	span      *obs.Span                  // parent for stratum spans (may be nil)
 	mu        sync.Mutex                 // guards perms, plans and ruleStats during parallel evaluation
 	plans     map[int]*compiler.RulePlan // optimizer decisions, by rule ID
@@ -88,6 +96,7 @@ func NewContext(prog *compiler.Program, base map[string]relation.Relation, opts 
 		planStore: opts.Plans,
 		parallel:  opts.Parallel,
 		obs:       reg,
+		ctx:       opts.Ctx,
 		plans:     map[int]*compiler.RulePlan{},
 		ruleStats: map[int]*obs.RuleStats{},
 	}
@@ -122,6 +131,16 @@ func (c *Context) Relations() map[string]relation.Relation {
 		out[k] = v
 	}
 	return out
+}
+
+// ctxErr reports the evaluation context's cancellation state; nil when
+// no context bounds the evaluation. The per-rule/per-round cost is one
+// pointer test plus (when bounded) one Err() load.
+func (c *Context) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 func (c *Context) arityOf(name string) int {
@@ -210,6 +229,9 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 		}
 	} else {
 		for i, r := range rules {
+			if err := c.ctxErr(); err != nil {
+				return err
+			}
 			var rsp *obs.Span
 			if sp != nil {
 				rsp = sp.Child("rule:" + r.HeadName)
@@ -251,6 +273,9 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 		}
 	}()
 	for len(deltas) > 0 {
+		if err := c.ctxErr(); err != nil {
+			return err
+		}
 		rounds++
 		next := map[string]relation.Relation{}
 		for _, r := range rules {

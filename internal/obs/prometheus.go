@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a registry snapshot, the
+// scrape surface served by lb-serve's GET /metrics. Metric names are the
+// registry's dotted names with every character outside [a-zA-Z0-9_:]
+// replaced by '_' and an "lb_" prefix, so "tx.exec.duration" becomes
+// lb_tx_exec_duration_seconds. Counters get the conventional "_total"
+// suffix; duration histograms are exposed in seconds with cumulative
+// power-of-two buckets.
+
+// promName sanitizes a registry metric name into a Prometheus one.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("lb_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot's counters, gauges and histograms
+// in Prometheus text exposition format. Rule profiles and traces are not
+// exposed here (they are structured objects; use WriteJSON).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writePromHistogram(w, promName(n)+"_seconds", s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram converts one power-of-two nanosecond-bucket
+// histogram into Prometheus form: cumulative bucket counts keyed by
+// upper bounds in seconds, plus _sum (seconds) and _count.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	bounds := make([]int64, 0, len(h.Buckets))
+	for b := range h.Buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	cum := int64(0)
+	for _, b := range bounds {
+		cum += h.Buckets[b]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(b)/1e9, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum.Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}

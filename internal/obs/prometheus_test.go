@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one sample of the text exposition format: a metric
+// name, an optional label set, and a float value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? (NaN|[-+]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+func TestWritePrometheusParses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tx.exec.commit").Add(3)
+	reg.Counter("server.commit.conflicts").Add(1)
+	reg.Gauge("server.queue.depth").Set(2)
+	h := reg.Histogram("http.exec.duration")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Microsecond)
+	h.Observe(2 * time.Second)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE lb_tx_exec_commit_total counter",
+		"lb_tx_exec_commit_total 3",
+		"# TYPE lb_server_queue_depth gauge",
+		"lb_server_queue_depth 2",
+		"# TYPE lb_http_exec_duration_seconds histogram",
+		`lb_http_exec_duration_seconds_bucket{le="+Inf"} 3`,
+		"lb_http_exec_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("line does not parse as a Prometheus sample: %q", line)
+		}
+	}
+}
+
+// TestPromHistogramCumulative checks the bucket counts are cumulative and
+// the +Inf bucket equals the count, as the format requires.
+func TestPromHistogramCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("d")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	prev := int64(-1)
+	infSeen := false
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if !strings.HasPrefix(line, "lb_d_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("buckets not cumulative: %d after %d in %q", v, prev, line)
+		}
+		prev = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != 100 {
+				t.Fatalf("+Inf bucket = %d, want 100", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	// Each invalid rune (".", "-", "α", "/") maps to one '_'.
+	if got := promName("tx.exec-α/commit"); got != "lb_tx_exec___commit" {
+		t.Fatalf("promName = %q", got)
+	}
+}

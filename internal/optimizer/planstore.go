@@ -304,6 +304,86 @@ func (s *PlanStore) Snapshot() []PlanSnapshot {
 	return out
 }
 
+// SavedPlan is the durable form of one cached plan: everything needed to
+// reuse the chosen order after a restart, keyed by the structural rule
+// fingerprint (which survives recompilation). Observed-cost baselines are
+// carried along so drift detection stays armed across restarts.
+type SavedPlan struct {
+	Fingerprint string
+	Head        string
+	Source      string
+	Order       []int
+	SampleCost  int
+	Cards       map[string]int
+	Preds       []string
+	BaselineOps int64
+}
+
+// Export returns the durable state of every fresh cached plan (stale
+// entries are dropped: they would be re-sampled anyway). Database.Save
+// embeds the result in snapshots so learned orders survive restarts.
+func (s *PlanStore) Export() []SavedPlan {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SavedPlan, 0, len(s.entries))
+	for fp, e := range s.entries {
+		if e.stale {
+			continue
+		}
+		cards := make(map[string]int, len(e.cards))
+		for k, v := range e.cards {
+			cards[k] = v
+		}
+		out = append(out, SavedPlan{
+			Fingerprint: fp,
+			Head:        e.head,
+			Source:      e.source,
+			Order:       append([]int(nil), e.order...),
+			SampleCost:  e.sampleCost,
+			Cards:       cards,
+			Preds:       append([]string(nil), e.preds...),
+			BaselineOps: e.baselineOps,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// Seed installs previously exported plans into the cache (skipping
+// fingerprints already present). Restored entries behave exactly like
+// freshly chosen ones: they are reused while input cardinalities stay
+// within CardRatio of the saved values and observed costs stay under
+// DriftFactor × the saved baseline.
+func (s *PlanStore) Seed(plans []SavedPlan) {
+	if s == nil || len(plans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range plans {
+		if _, ok := s.entries[p.Fingerprint]; ok {
+			continue
+		}
+		cards := make(map[string]int, len(p.Cards))
+		for k, v := range p.Cards {
+			cards[k] = v
+		}
+		s.entries[p.Fingerprint] = &planEntry{
+			fingerprint: p.Fingerprint,
+			head:        p.Head,
+			source:      p.Source,
+			order:       append([]int(nil), p.Order...),
+			sampleCost:  p.SampleCost,
+			cards:       cards,
+			preds:       append([]string(nil), p.Preds...),
+			baselineOps: p.BaselineOps,
+		}
+	}
+}
+
 // FormatPlanTable renders a plan-store snapshot as an aligned text table
 // (the REPL's :plans command).
 func FormatPlanTable(stats StoreStats, plans []PlanSnapshot) string {

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"logicblox/internal/core"
+)
+
+// errBusy rejects a request when the worker pool and its wait queue are
+// both full; clients should back off and retry.
+var errBusy = errors.New("worker pool saturated")
+
+// statusFor maps an error chain onto an HTTP status via the core typed
+// sentinels — no string sniffing.
+func statusFor(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, core.ErrNoSuchBranch):
+		return http.StatusNotFound, "no_such_branch"
+	case errors.Is(err, core.ErrConflict):
+		return http.StatusConflict, "conflict"
+	case errors.Is(err, core.ErrBranchExists):
+		return http.StatusConflict, "branch_exists"
+	case errors.Is(err, core.ErrConstraint):
+		return http.StatusConflict, "constraint"
+	case errors.Is(err, core.ErrParse):
+		return http.StatusBadRequest, "parse"
+	case errors.Is(err, core.ErrTypecheck):
+		return http.StatusUnprocessableEntity, "typecheck"
+	case errors.Is(err, errBusy):
+		return http.StatusServiceUnavailable, "busy"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	s.reg.Counter("server.errors." + code).Inc()
+	writeErrorCode(w, status, code, err.Error())
+}
+
+// statusRecorder captures the response status for per-endpoint counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// acquire admits the request into the bounded worker pool: it blocks
+// until a worker slot frees up, the context ends, or the wait queue is
+// already full (errBusy). The server.queue.depth gauge tracks requests
+// waiting for a slot.
+func (s *Server) acquire(ctx context.Context) error {
+	depth := s.queued.Add(1)
+	s.reg.Gauge("server.queue.depth").Set(depth)
+	defer func() { s.reg.Gauge("server.queue.depth").Set(s.queued.Add(-1)) }()
+	if depth > int64(s.cfg.Workers+s.cfg.Queue) {
+		s.reg.Counter("server.pool.rejected").Inc()
+		return errBusy
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// endpoint wraps a handler with the service middleware: method check,
+// drain rejection (503 + Retry-After), panic recovery (500 + a marked
+// trace span), per-endpoint request/latency/status metrics, the default
+// request deadline, and — for transaction endpoints — admission through
+// the bounded worker pool.
+func (s *Server) endpoint(name, method string, pooled bool, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", method+" required")
+			return
+		}
+		if s.draining.Load() {
+			s.reg.Counter("server.drained_rejects").Inc()
+			writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", "server is draining")
+			return
+		}
+		s.reg.Counter("http." + name + ".requests").Inc()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		t0 := time.Now()
+		sp := s.reg.StartSpan("http." + name)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				// An engine panic must not take the server down: convert
+				// to a 500 and mark the request's trace span.
+				sp.SetAttr("panic", 1)
+				s.reg.Counter("server.panics").Inc()
+				if rec.status == 0 {
+					writeErrorCode(rec, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
+				}
+			}
+			sp.SetAttr("status", int64(rec.status))
+			sp.End()
+			s.reg.Histogram("http." + name + ".duration").Observe(time.Since(t0))
+			s.reg.Counter("http." + name + ".status." + strconv.Itoa(rec.status)).Inc()
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		if pooled {
+			if err := s.acquire(ctx); err != nil {
+				s.writeError(rec, err)
+				return
+			}
+			defer s.release()
+		}
+		h(rec, r.WithContext(ctx))
+	})
+}

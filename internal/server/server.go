@@ -1,0 +1,476 @@
+// Package server exposes a logicblox database over HTTP (stdlib-only):
+// the lb-serve network layer. Requests run as concurrent transactions
+// against immutable branch-head snapshots and commit through the
+// optimistic compare-and-swap path (core.Database.CommitIf): on a
+// conflict the transaction is re-executed against the new head (a
+// coarse-grained form of the paper's §3.4 transaction repair) up to
+// MaxRetries times before surfacing 409. Every request carries a
+// context deadline honored inside the engine's fixpoint loops, so a
+// runaway recursive rule is stopped rather than pinning a worker.
+//
+// Endpoints:
+//
+//	POST /exec       run an exec transaction and commit it
+//	POST /query      run a read-only query on the branch snapshot
+//	POST /addblock   install a block of logic and commit
+//	GET  /branches   list branches
+//	POST /branches   create/branchat/delete/commit/diff branches
+//	GET  /versions   committed-version history
+//	POST /save       download a binary snapshot of all branches
+//	POST /load       replace the served database from a snapshot
+//	GET  /metrics    obs registry, Prometheus text exposition
+//	GET  /debug/vars obs registry, expvar-style JSON
+//	GET  /healthz    liveness (503 while draining)
+//
+// See docs/server.md for the wire format and the error-code table.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"logicblox/internal/core"
+	"logicblox/internal/obs"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// maxBodyBytes bounds request bodies so a hostile client cannot exhaust
+// memory; /load snapshots are exempt (they stream through gob).
+const maxBodyBytes = 8 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently executing transactions (default:
+	// GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for a worker; beyond it requests
+	// are rejected with 503 + Retry-After (default: 64).
+	Queue int
+	// Timeout is the default per-request context deadline; a request's
+	// timeout_ms field can only tighten it (default: 30s).
+	Timeout time.Duration
+	// MaxRetries bounds optimistic re-executions after commit conflicts
+	// before the request surfaces 409 (default: 3).
+	MaxRetries int
+	// Obs receives all server and engine metrics (default: a fresh
+	// registry).
+	Obs *obs.Registry
+}
+
+// Server serves one Database over HTTP. It is safe for concurrent use;
+// the database pointer itself is swappable (POST /load) behind an
+// atomic.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	db       atomic.Pointer[core.Database]
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+// New returns a server over db. Zero Config fields take defaults.
+func New(db *core.Database, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	s := &Server{cfg: cfg, reg: cfg.Obs, sem: make(chan struct{}, cfg.Workers)}
+	s.db.Store(db)
+	return s
+}
+
+// Obs returns the server's metrics registry.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Database returns the currently served database.
+func (s *Server) Database() *core.Database { return s.db.Load() }
+
+// BeginDrain puts the server into drain mode: new requests are rejected
+// with 503 + Retry-After while in-flight transactions finish (the
+// http.Server.Shutdown call in cmd/lb-serve does the actual waiting).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of requests currently inside handlers.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Handler returns the routed HTTP handler with all middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/exec", s.endpoint("exec", http.MethodPost, true, s.handleExec))
+	mux.Handle("/query", s.endpoint("query", http.MethodPost, true, s.handleQuery))
+	mux.Handle("/addblock", s.endpoint("addblock", http.MethodPost, true, s.handleAddBlock))
+	mux.Handle("/branches", s.branchesRouter())
+	mux.Handle("/versions", s.endpoint("versions", http.MethodGet, false, s.handleVersions))
+	mux.Handle("/save", s.endpoint("save", http.MethodPost, true, s.handleSave))
+	mux.Handle("/load", s.endpoint("load", http.MethodPost, true, s.handleLoad))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// branchesRouter splits GET (list) from POST (operations); both share
+// the /branches path so the method check lives here.
+func (s *Server) branchesRouter() http.Handler {
+	get := s.endpoint("branches", http.MethodGet, false, s.handleBranchesGet)
+	post := s.endpoint("branches", http.MethodPost, true, s.handleBranchesPost)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			get.ServeHTTP(w, r)
+			return
+		}
+		post.ServeHTTP(w, r)
+	})
+}
+
+// decode reads a JSON request body, applying the branch default and any
+// per-request deadline tightening. The returned cancel must be called.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *Request) (*http.Request, func(), bool) {
+	if err := jsonBody(r, req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		return r, func() {}, false
+	}
+	if req.Branch == "" {
+		req.Branch = core.DefaultBranch
+	}
+	if req.TimeoutMs > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
+		return r.WithContext(ctx), cancel, true
+	}
+	return r, func() {}, true
+}
+
+// handleExec runs an exec transaction through the optimistic-commit
+// loop: execute on the branch-head snapshot, CommitIf, and on a lost
+// race re-execute against the new head.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	r, cancel, ok := s.decode(w, r, &req)
+	defer cancel()
+	if !ok {
+		return
+	}
+	retries := 0
+	for {
+		head, err := s.Database().Workspace(req.Branch)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		res, err := head.WithObserver(s.reg).ExecCtx(r.Context(), req.Src)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		version := res.Workspace.Version()
+		if res.Workspace == head || len(res.BaseDeltas) == 0 {
+			// No-op transaction: nothing to commit.
+			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: version, Retries: retries})
+			return
+		}
+		err = s.Database().CommitIf(req.Branch, head, res.Workspace)
+		if err == nil {
+			s.reg.Counter("server.commits").Inc()
+			writeJSON(w, http.StatusOK, ExecResponse{
+				OK: true, Branch: req.Branch, Version: version,
+				Retries: retries, Deltas: deltasJSON(res.BaseDeltas),
+			})
+			return
+		}
+		if errors.Is(err, core.ErrConflict) && retries < s.cfg.MaxRetries && r.Context().Err() == nil {
+			retries++
+			s.reg.Counter("server.commit.retries").Inc()
+			continue
+		}
+		s.reg.Counter("server.commit.conflicts").Inc()
+		s.writeError(w, err)
+		return
+	}
+}
+
+// handleQuery runs a read-only query on the branch-head snapshot; no
+// commit is involved (paper §3.1: queries read a version, concurrent
+// writers never block them).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	r, cancel, ok := s.decode(w, r, &req)
+	defer cancel()
+	if !ok {
+		return
+	}
+	head, err := s.Database().Workspace(req.Branch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rows, err := head.WithObserver(s.reg).QueryCtx(r.Context(), req.Src)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{OK: true, Rows: rowsJSON(rows)})
+}
+
+// handleAddBlock installs a block through the same optimistic-commit
+// loop as exec.
+func (s *Server) handleAddBlock(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	r, cancel, ok := s.decode(w, r, &req)
+	defer cancel()
+	if !ok {
+		return
+	}
+	if req.Name == "" {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", "addblock requires a block name")
+		return
+	}
+	retries := 0
+	for {
+		head, err := s.Database().Workspace(req.Branch)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		next, err := head.WithObserver(s.reg).AddBlockCtx(r.Context(), req.Name, req.Src)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		err = s.Database().CommitIf(req.Branch, head, next)
+		if err == nil {
+			s.reg.Counter("server.commits").Inc()
+			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: next.Version(), Retries: retries})
+			return
+		}
+		if errors.Is(err, core.ErrConflict) && retries < s.cfg.MaxRetries && r.Context().Err() == nil {
+			retries++
+			s.reg.Counter("server.commit.retries").Inc()
+			continue
+		}
+		s.reg.Counter("server.commit.conflicts").Inc()
+		s.writeError(w, err)
+		return
+	}
+}
+
+func (s *Server) handleBranchesGet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, BranchesResponse{OK: true, Branches: s.Database().Branches()})
+}
+
+func (s *Server) handleBranchesPost(w http.ResponseWriter, r *http.Request) {
+	var req BranchRequest
+	if err := jsonBody(r, &req); err != nil {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	db := s.Database()
+	switch req.Op {
+	case "create":
+		if err := db.Branch(req.From, req.To); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	case "branchat":
+		if err := db.BranchAt(req.Version, req.To); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	case "delete":
+		if err := db.DeleteBranch(req.To); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	case "commit":
+		// Promote branch From's head onto branch To (a pointer-swap
+		// commit, e.g. merging an accepted what-if scenario back).
+		ws, err := db.Workspace(req.From)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if err := db.Commit(req.To, ws); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	case "diff":
+		diff, err := s.diffBranches(req.From, req.To)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, BranchesResponse{OK: true, Diff: diff})
+		return
+	default:
+		writeErrorCode(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown op %q (want create|branchat|delete|commit|diff)", req.Op))
+		return
+	}
+	writeJSON(w, http.StatusOK, BranchesResponse{OK: true, Branches: db.Branches()})
+}
+
+// diffBranches structurally diffs two branch heads per predicate (base
+// and derived), counting tuples only in `from` (Del) and only in `to`
+// (Ins) — the persistent-treap diff makes this proportional to the
+// difference, not the data (paper §3.1).
+func (s *Server) diffBranches(from, to string) (map[string]Delta, error) {
+	db := s.Database()
+	a, err := db.Workspace(from)
+	if err != nil {
+		return nil, err
+	}
+	b, err := db.Workspace(to)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for _, ws := range []*core.Workspace{a, b} {
+		for name := range ws.Relations() {
+			names[name] = true
+		}
+	}
+	out := map[string]Delta{}
+	for name := range names {
+		ra, rb := a.Relation(name), b.Relation(name)
+		if ra.Arity() != rb.Arity() {
+			n := Delta{Ins: rb.Len(), Del: ra.Len()}
+			if n.Ins+n.Del > 0 {
+				out[name] = n
+			}
+			continue
+		}
+		var d Delta
+		ra.Diff(rb,
+			func(tuple.Tuple) { d.Del++ },
+			func(tuple.Tuple) { d.Ins++ })
+		if d.Ins+d.Del > 0 {
+			out[name] = d
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, _ *http.Request) {
+	db := s.Database()
+	n := db.Versions()
+	out := make([]VersionInfo, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := db.VersionAt(i)
+		if err != nil {
+			continue // history only grows; a vanished index means a /load raced us
+		}
+		out = append(out, VersionInfo{
+			Index: i, Branch: v.Branch,
+			Version: v.Workspace.Version(), Blocks: len(v.Workspace.Blocks()),
+		})
+	}
+	writeJSON(w, http.StatusOK, VersionsResponse{OK: true, Versions: out})
+}
+
+// handleSave streams a binary snapshot of every branch head (the
+// Database.Save gob format LoadDatabase and POST /load accept).
+func (s *Server) handleSave(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename=logicblox.snapshot")
+	if err := s.Database().Save(w); err != nil {
+		// Headers are gone; all we can do is count it.
+		s.reg.Counter("server.errors.save").Inc()
+	}
+}
+
+// handleLoad replaces the served database with the snapshot in the
+// request body (derived predicates re-materialize during restore).
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	db, err := core.LoadDatabase(r.Body)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	s.db.Store(db)
+	s.reg.Counter("server.loads").Inc()
+	writeJSON(w, http.StatusOK, BranchesResponse{OK: true, Branches: db.Branches()})
+}
+
+// handleMetrics serves the obs registry in Prometheus text exposition
+// format. It stays outside the worker pool and ignores drain mode so a
+// scraper sees the shutdown happen.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
+		return
+	}
+	s.refreshGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Snapshot().WritePrometheus(w)
+}
+
+// handleVars serves the same snapshot as /debug/vars-style JSON.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
+		return
+	}
+	s.refreshGauges()
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.Snapshot().WriteJSON(w)
+}
+
+func (s *Server) refreshGauges() {
+	s.reg.Gauge("server.inflight").Set(s.inflight.Load())
+	s.reg.Gauge("server.workers").Set(int64(s.cfg.Workers))
+	s.reg.Gauge("server.branches").Set(int64(len(s.Database().Branches())))
+	s.reg.Gauge("server.versions").Set(int64(s.Database().Versions()))
+	if relation.StorageStatsEnabled() {
+		st := relation.ReadStorageStats()
+		s.reg.Gauge("treap.nodes_allocated").Set(st.NodesAllocated)
+		s.reg.Gauge("treap.shared_subtrees").Set(st.SharedSubtrees)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "inflight": s.inflight.Load(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"branches": len(s.Database().Branches()),
+		"versions": s.Database().Versions(),
+	})
+}
+
+// jsonBody decodes a JSON body, bounding it to keep a hostile client
+// from exhausting memory.
+func jsonBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+
+	"logicblox/internal/core"
+	"logicblox/internal/tuple"
+)
+
+// Wire format of the lb-serve HTTP API. Every request body is JSON;
+// every response body is JSON except /metrics (Prometheus text) and
+// /save (binary snapshot). Errors are an ErrorResponse with a stable
+// machine-readable Code mirroring the typed core errors.
+
+// Request is the body of the transaction endpoints /exec, /query and
+// /addblock.
+type Request struct {
+	// Branch the transaction runs against (default "main").
+	Branch string `json:"branch,omitempty"`
+	// Src is the LogiQL source: delta facts and reactive rules for
+	// /exec, a program deriving the answer predicate "_" for /query,
+	// block logic for /addblock.
+	Src string `json:"src"`
+	// Name is the block name (/addblock only).
+	Name string `json:"name,omitempty"`
+	// TimeoutMs, when > 0, tightens this request's context deadline
+	// below the server default; on expiry the transaction's fixpoint
+	// loop stops at the next iteration boundary and the request fails
+	// with 504.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// BranchRequest is the body of POST /branches.
+type BranchRequest struct {
+	// Op is one of "create", "branchat", "delete", "commit", "diff".
+	Op string `json:"op"`
+	// From is the source branch ("create", "commit", "diff").
+	From string `json:"from,omitempty"`
+	// To is the branch acted on.
+	To string `json:"to,omitempty"`
+	// Version is the history index for "branchat" (time travel).
+	Version int `json:"version,omitempty"`
+}
+
+// Delta summarizes one predicate's change.
+type Delta struct {
+	Ins int `json:"ins"`
+	Del int `json:"del"`
+}
+
+// ExecResponse reports a committed exec or addblock transaction.
+type ExecResponse struct {
+	OK      bool   `json:"ok"`
+	Branch  string `json:"branch"`
+	Version uint64 `json:"version"`
+	// Retries counts optimistic re-executions after commit conflicts.
+	Retries int              `json:"retries,omitempty"`
+	Deltas  map[string]Delta `json:"deltas,omitempty"`
+}
+
+// QueryResponse carries a query's answer tuples.
+type QueryResponse struct {
+	OK   bool    `json:"ok"`
+	Rows [][]any `json:"rows"`
+}
+
+// BranchesResponse lists branches, or reports a branch operation.
+type BranchesResponse struct {
+	OK       bool             `json:"ok"`
+	Branches []string         `json:"branches,omitempty"`
+	Diff     map[string]Delta `json:"diff,omitempty"`
+}
+
+// VersionInfo is one entry of GET /versions.
+type VersionInfo struct {
+	Index   int    `json:"index"`
+	Branch  string `json:"branch"`
+	Version uint64 `json:"version"`
+	Blocks  int    `json:"blocks"`
+}
+
+// VersionsResponse is the committed-version history.
+type VersionsResponse struct {
+	OK       bool          `json:"ok"`
+	Versions []VersionInfo `json:"versions"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is a stable identifier: no_such_branch, conflict, parse,
+	// typecheck, constraint, timeout, busy, unavailable, bad_request,
+	// internal.
+	Code string `json:"code"`
+}
+
+// valueJSON renders one LogiQL value as its natural JSON form; entities
+// (structural, no lexical form) render as "entity(type,ordinal)".
+func valueJSON(v tuple.Value) any {
+	switch v.Kind() {
+	case tuple.KindBool:
+		return v.AsBool()
+	case tuple.KindInt:
+		return v.AsInt()
+	case tuple.KindFloat:
+		return v.AsFloat()
+	case tuple.KindString:
+		return v.AsString()
+	case tuple.KindEntity:
+		return fmt.Sprintf("entity(%d,%d)", v.EntityType(), v.EntityOrdinal())
+	default:
+		return nil
+	}
+}
+
+func rowsJSON(rows []tuple.Tuple) [][]any {
+	out := make([][]any, len(rows))
+	for i, t := range rows {
+		row := make([]any, len(t))
+		for j, v := range t {
+			row[j] = valueJSON(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func deltasJSON(deltas map[string]core.ExecDelta) map[string]Delta {
+	if len(deltas) == 0 {
+		return nil
+	}
+	out := make(map[string]Delta, len(deltas))
+	for pred, d := range deltas {
+		out[pred] = Delta{Ins: len(d.Ins), Del: len(d.Del)}
+	}
+	return out
+}

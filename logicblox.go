@@ -7,15 +7,23 @@
 // through transaction repair, and built-in prescriptive (LP/MIP) and
 // predictive (ML) analytics.
 //
-// The public API re-exports the workspace/transaction surface:
+// The public API re-exports the workspace/transaction surface. Open
+// takes functional options configuring the root workspace:
 //
-//	db := logicblox.Open()
+//	db := logicblox.Open(logicblox.WithAdaptiveOptimizer())
 //	ws, _ := db.Workspace(logicblox.DefaultBranch)
 //	ws, _ = ws.AddBlock("schema", `
 //	    profit[sku] = sellingPrice[sku] - buyingPrice[sku] <- Product(sku).`)
 //	res, _ := ws.Exec(`+Product("eis"). +sellingPrice["eis"] = 3.0. +buyingPrice["eis"] = 1.0.`)
 //	rows, _ := res.Workspace.Query(`_(p, v) <- profit[p] = v.`)
 //	db.Commit(logicblox.DefaultBranch, res.Workspace)
+//
+// Every transaction method has a context-aware form (ExecCtx, QueryCtx,
+// AddBlockCtx) whose deadline or cancellation is honored inside the
+// engine's fixpoint loops at iteration boundaries. Failures carry typed
+// sentinel errors (ErrParse, ErrTypecheck, ErrConflict, ErrNoSuchBranch,
+// ErrConstraint) matchable with errors.Is. cmd/lb-serve exposes the same
+// surface over HTTP; see docs/server.md.
 //
 // Lower-level building blocks (the treap and relation substrates, the
 // leapfrog triejoin, the incremental-maintenance strategies, transaction
@@ -83,8 +91,63 @@ type Value = tuple.Value
 // DefaultBranch is the branch created by Open.
 const DefaultBranch = core.DefaultBranch
 
-// Open creates a database with an empty workspace on the main branch.
-func Open() *Database { return core.NewDatabase() }
+// Typed sentinel errors carried (via errors.Is) by every failure of the
+// transaction surface. lb-serve maps them onto HTTP statuses (404, 409,
+// 400, 422); embedders switch on them the same way instead of matching
+// message strings.
+var (
+	// ErrNoSuchBranch marks operations naming an unknown branch or
+	// version.
+	ErrNoSuchBranch = core.ErrNoSuchBranch
+	// ErrBranchExists marks branch creation over an existing name.
+	ErrBranchExists = core.ErrBranchExists
+	// ErrConflict marks an optimistic commit that lost its race
+	// (Database.CommitIf) or a duplicate block install.
+	ErrConflict = core.ErrConflict
+	// ErrParse marks LogiQL syntax errors.
+	ErrParse = core.ErrParse
+	// ErrTypecheck marks semantic errors: type clashes, unbound head
+	// variables, writes to derived predicates.
+	ErrTypecheck = core.ErrTypecheck
+	// ErrConstraint marks a transaction aborted by an integrity
+	// constraint violation.
+	ErrConstraint = core.ErrConstraint
+)
+
+// Option configures the root workspace of a database opened with Open;
+// the configuration is inherited by every branch and version derived
+// from it.
+type Option = core.Option
+
+// WithOptimizer enables the sampling-based join-order optimizer
+// (paper §3.2) for every transaction.
+func WithOptimizer() Option { return core.OptOptimizer() }
+
+// WithAdaptiveOptimizer enables the feedback-driven adaptive optimizer:
+// sampled join orders persist in a plan store shared across versions and
+// branches, and re-sampling happens only when observed costs or input
+// cardinalities drift.
+func WithAdaptiveOptimizer() Option { return core.OptAdaptiveOptimizer() }
+
+// WithObs attaches a metrics registry to the workspace lineage: every
+// transaction records per-rule profiles, phase spans and engine counters
+// into reg.
+func WithObs(reg *ObsRegistry) Option { return core.OptObserver(reg) }
+
+// Open creates a database whose main branch starts from an empty
+// workspace configured by the given options.
+//
+// The pre-option spellings — Open() followed by committing
+// ws.WithAdaptiveOptimizer(true) or ws.WithObserver(reg) onto the
+// branch — keep working; the options are the preferred way to say the
+// same thing at open time.
+func Open(opts ...Option) *Database {
+	ws := core.NewWorkspace()
+	for _, opt := range opts {
+		ws = opt(ws)
+	}
+	return core.NewDatabaseWith(ws)
+}
 
 // LoadDatabase restores a database from a snapshot written with
 // Database.Save; derived predicates are re-materialized (there is no

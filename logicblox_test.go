@@ -1,6 +1,7 @@
 package logicblox
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -100,5 +101,49 @@ func TestPublicAPISolve(t *testing.T) {
 	tp, _ := solved.Relation("totalProfit").FuncGet(Tuple{})
 	if tp.AsFloat() < 29.99 {
 		t.Fatalf("totalProfit = %v", tp)
+	}
+}
+
+// TestOpenWithOptions checks the functional-options form of Open: the
+// configured root workspace is inherited by the whole lineage, and the
+// typed error re-exports match with errors.Is.
+func TestOpenWithOptions(t *testing.T) {
+	reg := NewObsRegistry()
+	db := Open(WithAdaptiveOptimizer(), WithObs(reg))
+	ws, err := db.Workspace(DefaultBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.PlanStore() == nil {
+		t.Fatal("WithAdaptiveOptimizer did not attach a plan store")
+	}
+	ws, err = ws.AddBlock("tc", `
+		path(x, y) <- edge(x, y).
+		path(x, z) <- path(x, y), edge(y, z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ws.Exec(`+edge(1, 2). +edge(2, 3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(DefaultBranch, res.Workspace); err != nil {
+		t.Fatal(err)
+	}
+	// Options are inherited: the committed version still has the store,
+	// and the observer recorded the transaction.
+	head, _ := db.Workspace(DefaultBranch)
+	if head.PlanStore() == nil {
+		t.Fatal("plan store not inherited across the transaction")
+	}
+	if reg.Snapshot().Counters["tx.exec.commit"] == 0 {
+		t.Fatalf("observer saw no transactions: %v", reg.Snapshot().Counters)
+	}
+
+	if _, err := head.Exec(`+p(1`); !errors.Is(err, ErrParse) {
+		t.Errorf("ErrParse not carried: %v", err)
+	}
+	if _, err := db.Workspace("nope"); !errors.Is(err, ErrNoSuchBranch) {
+		t.Errorf("ErrNoSuchBranch not carried: %v", err)
 	}
 }
