@@ -1,14 +1,22 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest serve-test
+.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test
 
-ci: fmt-check vet build race difftest serve-test
+ci: fmt-check vet build race difftest serve-test durable-test
 
 # The differential harness: generated programs evaluated by the LFTJ
 # engine (every candidate order, plan cache cold and warm) and by all
 # IVM modes must match a naive reference evaluator, race-detector on.
 difftest:
 	$(GO) test -race -run 'Differential' -count=1 ./internal/engine/
+
+# The durability suite: framed-snapshot and journal unit tests, the
+# crash-recovery property test (every fault-injected crash point must
+# recover exactly the acknowledged commits), and the faultfs
+# crash-simulation filesystem's own semantics — race-detector on.
+durable-test:
+	$(GO) vet ./internal/durable/...
+	$(GO) test -race -count=1 ./internal/durable/...
 
 # The HTTP end-to-end suite (httptest): concurrent conflicting writers,
 # deadline propagation into the fixpoint, error mapping, drain, pool

@@ -6,12 +6,21 @@
 // Usage:
 //
 //	lb-serve [-addr :8080] [-workers N] [-queue N] [-timeout 30s]
-//	         [-retries 3] [-adaptive-opt] [-snapshot file]
+//	         [-retries 3] [-adaptive-opt]
+//	         [-data-dir dir [-fsync always|interval] [-fsync-interval 50ms]
+//	          [-checkpoint-every 256] [-checkpoint-interval 30s]
+//	          [-generations 3]]
+//	         [-snapshot file]
 //
-// With -snapshot, the database is loaded from the file at startup (if it
-// exists) and written back there on shutdown. On SIGINT/SIGTERM the
-// server drains: new requests get 503 + Retry-After while in-flight
-// transactions finish.
+// With -data-dir, the server runs durably: at startup it recovers the
+// database from the newest valid snapshot generation plus a replay of
+// the commit journal, and every committed transaction is journaled
+// write-ahead before the client sees its ack (see docs/durability.md).
+// With -snapshot (mutually exclusive), the database is loaded from the
+// file at startup (if it exists) and written back there — atomically
+// and fsynced — on shutdown; nothing is durable in between. On
+// SIGINT/SIGTERM the server drains: new requests get 503 + Retry-After
+// while in-flight transactions finish.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"logicblox"
 	"logicblox/internal/core"
+	"logicblox/internal/durable"
 	"logicblox/internal/server"
 )
 
@@ -38,23 +48,49 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	retries := flag.Int("retries", 3, "max optimistic re-executions after commit conflicts")
 	adaptive := flag.Bool("adaptive-opt", false, "feedback-driven join-order optimization with a cached plan store")
-	snapshot := flag.String("snapshot", "", "load the database from this file at startup and save it on shutdown")
+	snapshot := flag.String("snapshot", "", "load the database from this file at startup and save it on shutdown (no journaling; see -data-dir)")
+	dataDir := flag.String("data-dir", "", "run durably from this directory: snapshot generations + write-ahead commit journal")
+	fsync := flag.String("fsync", durable.FsyncAlways, "journal fsync policy: always (durable acks) or interval (bounded loss, higher throughput)")
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "journal flush period under -fsync interval")
+	ckptEvery := flag.Int("checkpoint-every", 256, "checkpoint after this many journaled commits (<0 disables)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint at least this often while commits are pending (<0 disables)")
+	generations := flag.Int("generations", 3, "rotated snapshot generations to keep in -data-dir")
 	grace := flag.Duration("grace", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
 
-	db, err := openDatabase(*snapshot, *adaptive)
-	if err != nil {
-		log.Fatalf("lb-serve: %v", err)
+	if *dataDir != "" && *snapshot != "" {
+		log.Fatalf("lb-serve: -data-dir and -snapshot are mutually exclusive (the data directory manages its own snapshots)")
 	}
 
 	reg := logicblox.NewObsRegistry()
 	logicblox.EnableStorageStats(true)
+
+	var db *core.Database
+	var store *durable.Store
+	var err error
+	if *dataDir != "" {
+		store, db, err = openDurable(*dataDir, durable.Options{
+			Fsync:              *fsync,
+			FsyncInterval:      *fsyncInterval,
+			CheckpointEvery:    *ckptEvery,
+			CheckpointInterval: *ckptInterval,
+			Generations:        *generations,
+			Obs:                reg,
+		}, *adaptive)
+	} else {
+		db, err = openDatabase(*snapshot, *adaptive)
+	}
+	if err != nil {
+		log.Fatalf("lb-serve: %v", err)
+	}
+
 	s := server.New(db, server.Config{
 		Workers:    *workers,
 		Queue:      *queue,
 		Timeout:    *timeout,
 		MaxRetries: *retries,
 		Obs:        reg,
+		Durable:    store,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
@@ -78,6 +114,17 @@ func main() {
 		log.Printf("lb-serve: shutdown: %v", err)
 	}
 
+	if store != nil {
+		// Fold the journal tail into a final snapshot so the next boot
+		// replays nothing; the journal keeps every record the retained
+		// generations need, so even a failure here loses no commit.
+		if err := store.Checkpoint(s.Database().SaveSnapshot); err != nil {
+			log.Printf("lb-serve: final checkpoint: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("lb-serve: closing store: %v", err)
+		}
+	}
 	if *snapshot != "" {
 		if err := saveDatabase(*snapshot, s.Database()); err != nil {
 			log.Fatalf("lb-serve: save snapshot: %v", err)
@@ -86,14 +133,46 @@ func main() {
 	}
 }
 
+// openDurable opens the data directory, recovers the database it
+// describes (newest valid snapshot generation + journal replay), hooks
+// the journal into the commit path and starts the background
+// checkpointer.
+func openDurable(dir string, opts durable.Options, adaptive bool) (*durable.Store, *core.Database, error) {
+	store, err := durable.Open(dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := store.Recover(func() (*core.Database, error) {
+		return newDatabase(adaptive), nil
+	})
+	if err != nil {
+		store.Close()
+		return nil, nil, fmt.Errorf("recovering %s: %w", dir, err)
+	}
+	st := store.Stats()
+	log.Printf("lb-serve: recovered %s (snapshot seq %d, %d journal records replayed, %d corrupt generations skipped)",
+		dir, st.RecoveredSnapshotSeq, st.JournalReplayed, st.CorruptSkipped)
+	db.SetCommitHook(store.LogCommit)
+	store.Start(db.SaveSnapshot)
+	return store, db, nil
+}
+
+func newDatabase(adaptive bool) *core.Database {
+	var opts []logicblox.Option
+	if adaptive {
+		opts = append(opts, logicblox.WithAdaptiveOptimizer())
+	}
+	return logicblox.Open(opts...)
+}
+
 // openDatabase loads the snapshot when one is named and present,
-// otherwise opens a fresh database.
+// otherwise opens a fresh database. Framed (checksummed) and legacy raw
+// gob snapshot files are both accepted.
 func openDatabase(path string, adaptive bool) (*core.Database, error) {
 	if path != "" {
-		f, err := os.Open(path)
+		payload, err := durable.ReadSnapshotFile(durable.OS, path)
 		if err == nil {
-			defer f.Close()
-			db, err := logicblox.LoadDatabase(f)
+			db, err := durable.LoadSnapshotPayload(payload)
 			if err != nil {
 				return nil, fmt.Errorf("load %s: %w", path, err)
 			}
@@ -101,32 +180,16 @@ func openDatabase(path string, adaptive bool) (*core.Database, error) {
 			return db, nil
 		}
 		if !errors.Is(err, os.ErrNotExist) {
-			return nil, err
+			return nil, fmt.Errorf("load %s: %w", path, err)
 		}
 	}
-	var opts []logicblox.Option
-	if adaptive {
-		opts = append(opts, logicblox.WithAdaptiveOptimizer())
-	}
-	return logicblox.Open(opts...), nil
+	return newDatabase(adaptive), nil
 }
 
-// saveDatabase writes the snapshot atomically (write-rename) so a crash
-// mid-save cannot corrupt the previous one.
+// saveDatabase writes the snapshot atomically (temp file, fsync, rename,
+// directory fsync) with the framed checksummed header, so a crash
+// mid-save cannot corrupt the previous one and a later load detects any
+// on-disk corruption.
 func saveDatabase(path string, db *core.Database) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := db.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return durable.WriteDatabaseSnapshot(durable.OS, path, db)
 }

@@ -44,6 +44,7 @@ package main
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +53,7 @@ import (
 	"strings"
 
 	"logicblox"
+	"logicblox/internal/durable"
 )
 
 func main() {
@@ -289,14 +291,9 @@ func (r *repl) command(line string, blockName *string) bool {
 			fmt.Fprintln(r.out, "usage: :save <file>")
 			break
 		}
-		f, err := os.Create(fields[1])
-		if err != nil {
-			fmt.Fprintln(r.out, "error:", err)
-			break
-		}
-		err = r.db.Save(f)
-		f.Close()
-		if err != nil {
+		// Atomic and fsynced: a crash mid-save leaves the previous file
+		// intact, and the framed header lets :open detect corruption.
+		if err := durable.WriteDatabaseSnapshot(durable.OS, fields[1], r.db); err != nil {
 			fmt.Fprintln(r.out, "error:", err)
 			break
 		}
@@ -306,15 +303,18 @@ func (r *repl) command(line string, blockName *string) bool {
 			fmt.Fprintln(r.out, "usage: :open <file>")
 			break
 		}
-		f, err := os.Open(fields[1])
+		payload, err := durable.ReadSnapshotFile(durable.OS, fields[1])
 		if err != nil {
 			fmt.Fprintln(r.out, "error:", err)
 			break
 		}
-		db, err := logicblox.LoadDatabase(f)
-		f.Close()
+		db, err := durable.LoadSnapshotPayload(payload)
 		if err != nil {
-			fmt.Fprintln(r.out, "error:", err)
+			if errors.Is(err, logicblox.ErrCorruptSnapshot) {
+				fmt.Fprintf(r.out, "error: %s is corrupt (%v)\n", fields[1], err)
+			} else {
+				fmt.Fprintln(r.out, "error:", err)
+			}
 			break
 		}
 		r.db = db

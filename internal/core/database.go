@@ -15,6 +15,79 @@ type Database struct {
 	mu       sync.RWMutex
 	branches map[string]*Workspace
 	history  []VersionEntry
+	// seq numbers every state-changing operation; snapshots record it so
+	// journal replay (internal/durable) knows where a snapshot ends.
+	seq uint64
+	// hook, when set, is invoked under the write lock before a recorded
+	// mutation takes effect; an error vetoes the mutation (write-ahead
+	// logging: a commit that cannot be journaled does not happen).
+	hook CommitHook
+}
+
+// CommitRecord describes one recorded state-changing operation in enough
+// detail to replay it through the normal transaction path (the paper's
+// T4 #5 recovery story: re-deriving from logic + base deltas rather than
+// restoring physical state). Kind is one of "exec", "addblock",
+// "branch", "branchat", "delete", "promote".
+type CommitRecord struct {
+	// Seq is assigned by the database under the commit lock; it is
+	// strictly increasing across all recorded operations.
+	Seq    uint64
+	Kind   string
+	Branch string // transaction branch (exec, addblock)
+	Name   string // block name (addblock)
+	Src    string // LogiQL source (exec, addblock)
+	From   string // source branch (branch, promote)
+	To     string // target branch (branch, branchat, delete, promote)
+	// Version is the history index for branchat.
+	Version int
+}
+
+// CommitHook observes recorded mutations before they take effect,
+// typically appending them to a durable journal. It runs under the
+// database write lock, so implementations must not call back into the
+// database; returning an error aborts the mutation.
+type CommitHook func(CommitRecord) error
+
+// SetCommitHook installs (or, with nil, removes) the commit hook.
+func (db *Database) SetCommitHook(h CommitHook) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.hook = h
+}
+
+// Seq returns the sequence number of the last state-changing operation.
+func (db *Database) Seq() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// AlignSeq raises the sequence counter to at least min. Callers swapping
+// one database for another under a shared journal (POST /load) use it so
+// journal sequence numbers stay monotonic across the swap.
+func (db *Database) AlignSeq(min uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.seq < min {
+		db.seq = min
+	}
+}
+
+// logLocked assigns the next sequence number to rec and runs the commit
+// hook. Callers hold db.mu. On hook failure the sequence number is
+// consumed (gaps are fine — replay only needs monotonic order) and the
+// caller must not apply the mutation.
+func (db *Database) logLocked(rec *CommitRecord) error {
+	db.seq++
+	rec.Seq = db.seq
+	if db.hook == nil {
+		return nil
+	}
+	if err := db.hook(*rec); err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
 }
 
 // VersionEntry records one committed workspace version.
@@ -62,6 +135,9 @@ func (db *Database) Branch(from, to string) error {
 	if _, exists := db.branches[to]; exists {
 		return fmt.Errorf("branch %s: %w", to, ErrBranchExists)
 	}
+	if err := db.logLocked(&CommitRecord{Kind: "branch", From: from, To: to}); err != nil {
+		return err
+	}
 	db.branches[to] = src
 	return nil
 }
@@ -75,6 +151,9 @@ func (db *Database) BranchAt(version int, to string) error {
 	}
 	if _, exists := db.branches[to]; exists {
 		return fmt.Errorf("branch %s: %w", to, ErrBranchExists)
+	}
+	if err := db.logLocked(&CommitRecord{Kind: "branchat", Version: version, To: to}); err != nil {
+		return err
 	}
 	db.branches[to] = db.history[version].Workspace
 	return nil
@@ -91,20 +170,49 @@ func (db *Database) DeleteBranch(name string) error {
 	if _, ok := db.branches[name]; !ok {
 		return fmt.Errorf("unknown branch %s: %w", name, ErrNoSuchBranch)
 	}
+	if err := db.logLocked(&CommitRecord{Kind: "delete", To: name}); err != nil {
+		return err
+	}
 	delete(db.branches, name)
 	return nil
 }
 
 // Commit makes ws the new head of branch and records it in the history.
-// Conceptually just a pointer swap (paper T4).
+// Conceptually just a pointer swap (paper T4). Commit bypasses the
+// commit hook — a workspace value carries no replayable request — so
+// embedders running with a durability journal must use
+// CommitIfRecorded (or Promote for pointer-swap merges) instead.
 func (db *Database) Commit(branch string, ws *Workspace) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.branches[branch]; !ok {
 		return fmt.Errorf("unknown branch %s: %w", branch, ErrNoSuchBranch)
 	}
+	db.seq++
 	db.branches[branch] = ws
 	db.history = append(db.history, VersionEntry{Branch: branch, Workspace: ws})
+	return nil
+}
+
+// Promote makes branch from's head the new head of branch to (a
+// pointer-swap commit, e.g. merging an accepted what-if scenario back,
+// paper §2.2.2). Unlike Commit it is fully described by its branch
+// names, so it goes through the commit hook and is replayable.
+func (db *Database) Promote(from, to string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	src, ok := db.branches[from]
+	if !ok {
+		return fmt.Errorf("unknown branch %s: %w", from, ErrNoSuchBranch)
+	}
+	if _, ok := db.branches[to]; !ok {
+		return fmt.Errorf("unknown branch %s: %w", to, ErrNoSuchBranch)
+	}
+	if err := db.logLocked(&CommitRecord{Kind: "promote", From: from, To: to}); err != nil {
+		return err
+	}
+	db.branches[to] = src
+	db.history = append(db.history, VersionEntry{Branch: to, Workspace: src})
 	return nil
 }
 
@@ -125,8 +233,82 @@ func (db *Database) CommitIf(branch string, parent, ws *Workspace) error {
 	if head != parent {
 		return fmt.Errorf("branch %s moved since snapshot: %w", branch, ErrConflict)
 	}
+	db.seq++
 	db.branches[branch] = ws
 	db.history = append(db.history, VersionEntry{Branch: branch, Workspace: ws})
+	return nil
+}
+
+// CommitIfRecorded is CommitIf for callers running under a durability
+// journal: rec describes the request (kind, source, block name) that
+// produced ws, and — only if the compare-and-swap would succeed — is
+// passed to the commit hook before the head moves. A hook failure
+// rejects the commit with ErrDurability and leaves the branch untouched:
+// the journal is strictly write-ahead of the in-memory state, so an
+// acknowledged commit is always recoverable. rec.Branch and rec.Seq are
+// filled in here.
+func (db *Database) CommitIfRecorded(branch string, parent, ws *Workspace, rec CommitRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	head, ok := db.branches[branch]
+	if !ok {
+		return fmt.Errorf("unknown branch %s: %w", branch, ErrNoSuchBranch)
+	}
+	if head != parent {
+		return fmt.Errorf("branch %s moved since snapshot: %w", branch, ErrConflict)
+	}
+	rec.Branch = branch
+	if err := db.logLocked(&rec); err != nil {
+		return err
+	}
+	db.branches[branch] = ws
+	db.history = append(db.history, VersionEntry{Branch: branch, Workspace: ws})
+	return nil
+}
+
+// ApplyRecord re-executes one journaled operation through the normal
+// transaction path (recovery, paper T4 #5: derived state is re-computed,
+// not restored). It must run before SetCommitHook installs a hook —
+// replay must not re-journal itself — and records must be applied in
+// ascending Seq order. After each record the database's sequence counter
+// is pinned to rec.Seq so post-recovery commits continue the journal's
+// numbering.
+func (db *Database) ApplyRecord(rec CommitRecord) error {
+	var err error
+	switch rec.Kind {
+	case "exec":
+		var ws *Workspace
+		if ws, err = db.Workspace(rec.Branch); err == nil {
+			var res *ExecResult
+			if res, err = ws.Exec(rec.Src); err == nil {
+				err = db.Commit(rec.Branch, res.Workspace)
+			}
+		}
+	case "addblock":
+		var ws *Workspace
+		if ws, err = db.Workspace(rec.Branch); err == nil {
+			var next *Workspace
+			if next, err = ws.AddBlock(rec.Name, rec.Src); err == nil {
+				err = db.Commit(rec.Branch, next)
+			}
+		}
+	case "branch":
+		err = db.Branch(rec.From, rec.To)
+	case "branchat":
+		err = db.BranchAt(rec.Version, rec.To)
+	case "delete":
+		err = db.DeleteBranch(rec.To)
+	case "promote":
+		err = db.Promote(rec.From, rec.To)
+	default:
+		err = fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("replay seq %d (%s): %w", rec.Seq, rec.Kind, err)
+	}
+	db.mu.Lock()
+	db.seq = rec.Seq
+	db.mu.Unlock()
 	return nil
 }
 

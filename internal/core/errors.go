@@ -29,4 +29,14 @@ var (
 	// ErrConstraint marks a transaction aborted by integrity-constraint
 	// violations.
 	ErrConstraint = errors.New("integrity constraint violation")
+	// ErrCorruptSnapshot marks a snapshot that cannot be restored:
+	// truncated or bit-flipped gob payloads, framed snapshot files whose
+	// checksum does not match, and decoded snapshots whose contents fail
+	// re-derivation. Recovery (internal/durable) falls back to the
+	// previous snapshot generation on it; the HTTP layer maps it to 400.
+	ErrCorruptSnapshot = errors.New("corrupt snapshot")
+	// ErrDurability marks a commit rejected because its journal record
+	// could not be made durable (the commit hook failed). The in-memory
+	// state is unchanged: a commit that cannot be logged does not happen.
+	ErrDurability = errors.New("durability failure")
 )

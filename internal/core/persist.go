@@ -45,6 +45,10 @@ type snapshotWorkspace struct {
 type snapshotDB struct {
 	Version  int
 	Branches map[string]snapshotWorkspace
+	// Seq is the database's operation sequence number at snapshot time;
+	// journal replay (internal/durable) resumes after it. Gob leaves it
+	// zero when restoring pre-journal snapshots.
+	Seq uint64
 }
 
 func valueToDTO(v tuple.Value) valueDTO {
@@ -165,27 +169,43 @@ func RestoreWorkspace(blocks map[string]string, base map[string][]tuple.Tuple, a
 
 // Save writes a snapshot of every branch head.
 func (db *Database) Save(w io.Writer) error {
+	_, err := db.SaveSnapshot(w)
+	return err
+}
+
+// SaveSnapshot is Save returning the operation sequence number the
+// snapshot covers; both are captured under the same read lock, so the
+// snapshot contains exactly the commits numbered ≤ seq. The durability
+// layer names snapshot generations by this seq and replays only journal
+// records after it.
+func (db *Database) SaveSnapshot(w io.Writer) (seq uint64, err error) {
 	db.mu.RLock()
-	snap := snapshotDB{Version: 1, Branches: map[string]snapshotWorkspace{}}
+	snap := snapshotDB{Version: 1, Branches: map[string]snapshotWorkspace{}, Seq: db.seq}
 	for name, ws := range db.branches {
 		snap.Branches[name] = ws.snapshot()
 	}
 	db.mu.RUnlock()
-	return gob.NewEncoder(w).Encode(snap)
+	return snap.Seq, gob.NewEncoder(w).Encode(snap)
 }
 
 // LoadDatabase restores a database from a snapshot written by Save.
 // Derived predicates are re-materialized from the restored logic and
-// data; the version history restarts at the restored heads.
+// data; the version history restarts at the restored heads. Truncated
+// or bit-flipped input — a gob stream that fails to decode, or one that
+// decodes into state that cannot be re-derived — is reported as
+// ErrCorruptSnapshot, so callers can fall back to an older generation
+// or surface a clean error instead of a raw decoder message.
 func LoadDatabase(r io.Reader) (*Database, error) {
 	var snap snapshotDB
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: snapshot decode: %w", err)
+		return nil, fmt.Errorf("core: %w: decode: %v", ErrCorruptSnapshot, err)
 	}
 	if snap.Version != 1 {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", snap.Version)
+		// Unreadable for this build either way — typed so recovery can
+		// fall back to an older generation and CLIs report it cleanly.
+		return nil, fmt.Errorf("core: %w: unsupported snapshot version %d", ErrCorruptSnapshot, snap.Version)
 	}
-	db := &Database{branches: map[string]*Workspace{}}
+	db := &Database{branches: map[string]*Workspace{}, seq: snap.Seq}
 	var names []string
 	for n := range snap.Branches {
 		names = append(names, n)
@@ -207,7 +227,10 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 		}
 		ws, err := RestoreWorkspace(sw.Blocks, base, sw.Arity)
 		if err != nil {
-			return nil, fmt.Errorf("core: restoring branch %s: %w", name, err)
+			// A snapshot whose recorded logic no longer parses, compiles
+			// or satisfies its constraints is corrupt: Save only writes
+			// states that passed all three.
+			return nil, fmt.Errorf("core: %w: restoring branch %s: %v", ErrCorruptSnapshot, name, err)
 		}
 		if sw.Adaptive {
 			// Re-arm the adaptive optimizer with the learned orders. One

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildSnapshot commits a little state and returns its raw snapshot.
+func buildSnapshot(t *testing.T) []byte {
+	t.Helper()
+	db := NewDatabase()
+	ws, err := db.Workspace(DefaultBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err = ws.AddBlock("views", `q(x) <- p(x), x > 1.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(DefaultBranch, ws); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ws.Exec(`+p(1). +p(2). +p(3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(DefaultBranch, res.Workspace); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Every failing load of a damaged snapshot must carry the typed
+// ErrCorruptSnapshot so callers (CLI, HTTP, recovery fallback) can react
+// without string matching. Not every single-bit flip breaks a gob
+// stream — that is exactly why the durable layer adds a checksum — but
+// every flip that does fail must fail typed.
+func TestLoadDatabaseBitFlipsAreTyped(t *testing.T) {
+	raw := buildSnapshot(t)
+	failures := 0
+	step := len(raw)/97 + 1
+	for i := 0; i < len(raw); i += step {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x20
+		_, err := LoadDatabase(bytes.NewReader(mut))
+		if err == nil {
+			continue
+		}
+		failures++
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("flip at byte %d: err = %v, not ErrCorruptSnapshot", i, err)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no sampled bit flip failed the load; corruption test is vacuous")
+	}
+}
+
+func TestLoadDatabaseTruncationsAreTyped(t *testing.T) {
+	raw := buildSnapshot(t)
+	for _, n := range []int{0, 1, 7, len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+		_, err := LoadDatabase(bytes.NewReader(raw[:n]))
+		if err == nil {
+			t.Fatalf("truncation to %d bytes loaded successfully", n)
+		}
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d bytes: err = %v, not ErrCorruptSnapshot", n, err)
+		}
+	}
+}
+
+// An intact snapshot still round-trips, restoring the derived view.
+func TestLoadDatabaseRoundtripDerived(t *testing.T) {
+	raw := buildSnapshot(t)
+	db, err := LoadDatabase(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := db.Workspace(DefaultBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ws.Query(`_(x) <- q(x).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("derived q has %d tuples after reload, want 2", len(rows))
+	}
+}

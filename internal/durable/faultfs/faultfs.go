@@ -1,0 +1,396 @@
+// Package faultfs is a fault-injection filesystem for crash-recovery
+// testing. It implements durable.FS in memory while modeling what real
+// filesystems actually guarantee (cf. Pillai et al., OSDI '14 — "All
+// File Systems Are Not Created Equal"):
+//
+//   - file writes land in a volatile buffer; only File.Sync makes them
+//     part of the persisted image;
+//   - namespace changes (create, rename, remove) are volatile until
+//     SyncDir on the containing directory;
+//   - a crash discards volatile state — or, in torn mode, persists a
+//     random prefix of unsynced appends and a random subset of unsynced
+//     namespace changes, simulating torn writes and reordering.
+//
+// Every mutating operation (Create, Write, Sync, Rename, Remove,
+// SyncDir, MkdirAll) is a numbered crash point. Tests count a fault-free
+// run's operations, then re-run the workload crashing at every index:
+// the operation at the crash point fails without taking effect and the
+// filesystem refuses all further work until Crash or CrashTorn resets it
+// to the (possibly torn) persisted image, over which recovery runs.
+// FailAt and ShortWriteAt inject transient errors and short writes
+// without crashing.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"logicblox/internal/durable"
+)
+
+// ErrCrashed is returned by every operation after the crash point fires
+// (and by operations on handles that survived a crash).
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// FS is the crash-simulating filesystem. The zero value is not usable;
+// call New.
+type FS struct {
+	mu sync.Mutex
+	// names is the volatile namespace (what a running process sees);
+	// pnames is the persisted namespace (what survives a crash). Both
+	// map full paths to shared inodes.
+	names  map[string]*inode
+	pnames map[string]*inode
+	dirs   map[string]bool
+
+	ops     int
+	crashAt int
+	crashed bool
+	gen     int // bumped on crash; stale handles fail
+	errAt   map[int]error
+	shortAt map[int]bool
+}
+
+type inode struct {
+	data  []byte // volatile contents
+	pdata []byte // contents as of the last Sync
+}
+
+// New returns an empty filesystem with no faults armed.
+func New() *FS {
+	return &FS{
+		names:   map[string]*inode{},
+		pnames:  map[string]*inode{},
+		dirs:    map[string]bool{"/": true, ".": true},
+		errAt:   map[int]error{},
+		shortAt: map[int]bool{},
+	}
+}
+
+// Ops returns the number of mutating operations performed so far. Run
+// the workload once fault-free to size a crash-point sweep.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// SetCrashAt arms the crash point: mutating operation number n (1-based,
+// counted from now if the counter was reset) fails without taking
+// effect, and every operation after it fails with ErrCrashed. n <= 0
+// disarms.
+func (f *FS) SetCrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// FailAt injects a transient error: mutating operation n fails with err
+// (not applied), but the filesystem keeps working afterwards.
+func (f *FS) FailAt(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errAt[n] = err
+}
+
+// ShortWriteAt makes write operation n persist only half its buffer
+// volatile-side before failing — a short write the caller sees as an
+// error mid-file.
+func (f *FS) ShortWriteAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortAt[n] = true
+}
+
+// step gates one mutating operation. Callers hold f.mu.
+func (f *FS) step() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if err, ok := f.errAt[f.ops]; ok {
+		return err
+	}
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Crash simulates a clean power failure: all volatile state (unsynced
+// file contents, unsynced namespace changes) is discarded, leaving
+// exactly the persisted image. The filesystem is usable again for
+// recovery; handles opened before the crash fail forever.
+func (f *FS) Crash() { f.crash(nil) }
+
+// CrashTorn is Crash with realistic nondeterminism: each unsynced
+// append may persist a random prefix (a torn write, which checksums
+// must catch) and each unsynced namespace change may independently
+// persist or not (metadata reordering).
+func (f *FS) CrashTorn(rng *rand.Rand) { f.crash(rng) }
+
+func (f *FS) crash(rng *rand.Rand) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rng != nil {
+		// Maybe-persist unsynced namespace changes. Renames stay atomic
+		// (the entry moves wholly or not at all), matching the rename
+		// guarantee the durability layer relies on.
+		for p, ino := range f.names {
+			if _, ok := f.pnames[p]; !ok && rng.Intn(2) == 0 {
+				f.pnames[p] = ino
+			}
+		}
+		for p := range f.pnames {
+			if _, ok := f.names[p]; !ok && rng.Intn(2) == 0 {
+				delete(f.pnames, p)
+			}
+		}
+		// Maybe-persist a prefix of unsynced appends.
+		for _, ino := range f.pnames {
+			if len(ino.data) > len(ino.pdata) && prefixEqual(ino.data, ino.pdata) {
+				extra := rng.Intn(len(ino.data) - len(ino.pdata) + 1)
+				ino.pdata = append(ino.pdata, ino.data[len(ino.pdata):len(ino.pdata)+extra]...)
+			}
+		}
+	}
+	names := make(map[string]*inode, len(f.pnames))
+	for p, ino := range f.pnames {
+		ino.data = append([]byte(nil), ino.pdata...)
+		names[p] = ino
+	}
+	f.names = names
+	f.crashed = false
+	f.crashAt = 0
+	f.ops = 0
+	f.gen++
+	f.errAt = map[int]error{}
+	f.shortAt = map[int]bool{}
+}
+
+func prefixEqual(data, prefix []byte) bool {
+	if len(data) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if data[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func notExist(op, path string) error {
+	return &iofs.PathError{Op: op, Path: path, Err: iofs.ErrNotExist}
+}
+
+// --- durable.FS ---
+
+func (f *FS) Create(name string) (durable.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	ino, ok := f.names[name]
+	if ok {
+		ino.data = nil // truncate (volatile; persisted content unchanged)
+	} else {
+		ino = &inode{}
+		f.names[name] = ino
+	}
+	return &file{fs: f, ino: ino, gen: f.gen, writable: true}, nil
+}
+
+func (f *FS) OpenRead(name string) (durable.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	ino, ok := f.names[name]
+	if !ok {
+		return nil, notExist("open", name)
+	}
+	return &file{fs: f, ino: ino, gen: f.gen}, nil
+}
+
+func (f *FS) OpenAppend(name string) (durable.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	ino, ok := f.names[name]
+	if !ok {
+		ino = &inode{}
+		f.names[name] = ino
+	}
+	return &file{fs: f, ino: ino, gen: f.gen, writable: true}, nil
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	ino, ok := f.names[oldname]
+	if !ok {
+		return notExist("rename", oldname)
+	}
+	delete(f.names, oldname)
+	f.names[newname] = ino
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if _, ok := f.names[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(f.names, name)
+	return nil
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	clean := filepath.Clean(dir)
+	if !f.dirs[clean] {
+		return nil, notExist("readdir", dir)
+	}
+	var names []string
+	for p := range f.names {
+		if filepath.Dir(p) == clean {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir persists the namespace for entries directly in dir: creations
+// and renames become crash-durable, removals final.
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	clean := filepath.Clean(dir)
+	for p, ino := range f.names {
+		if filepath.Dir(p) == clean {
+			f.pnames[p] = ino
+		}
+	}
+	for p := range f.pnames {
+		if filepath.Dir(p) != clean {
+			continue
+		}
+		if _, ok := f.names[p]; !ok {
+			delete(f.pnames, p)
+		}
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	clean := filepath.Clean(dir)
+	for {
+		f.dirs[clean] = true
+		parent := filepath.Dir(clean)
+		if parent == clean {
+			return nil
+		}
+		clean = parent
+	}
+}
+
+// file is an open handle. Reads snapshot nothing — they see the live
+// volatile contents, like a real fd.
+type file struct {
+	fs       *FS
+	ino      *inode
+	gen      int
+	pos      int
+	writable bool
+}
+
+// stale reports whether the handle predates a crash. Callers hold fs.mu.
+func (h *file) stale() bool { return h.gen != h.fs.gen }
+
+func (h *file) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() || h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.pos >= len(h.ino.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() {
+		return 0, ErrCrashed
+	}
+	if !h.writable {
+		return 0, errors.New("faultfs: file not open for writing")
+	}
+	if err := h.fs.step(); err != nil {
+		return 0, err
+	}
+	if h.fs.shortAt[h.fs.ops] {
+		n := len(p) / 2
+		h.ino.data = append(h.ino.data, p[:n]...)
+		return n, errors.New("faultfs: short write")
+	}
+	h.ino.data = append(h.ino.data, p...)
+	return len(p), nil
+}
+
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() {
+		return ErrCrashed
+	}
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	h.ino.pdata = append([]byte(nil), h.ino.data...)
+	return nil
+}
+
+func (h *file) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.stale() || h.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}

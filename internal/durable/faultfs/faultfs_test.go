@@ -1,0 +1,183 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func writeAll(t *testing.T, fs *FS, name string, data []byte, sync, syncDir bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if syncDir {
+		if err := fs.SyncDir("."); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readAll(t *testing.T, fs *FS, name string) ([]byte, error) {
+	t.Helper()
+	f, err := fs.OpenRead(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// An unsynced write is lost on crash; a synced one survives — but only
+// if the file's creation was made durable with a directory sync.
+func TestCrashDiscardsUnsynced(t *testing.T) {
+	fs := New()
+	writeAll(t, fs, "synced", []byte("synced data"), true, true)
+	writeAll(t, fs, "unsynced", []byte("doomed"), false, true)
+	fs.Crash()
+
+	got, err := readAll(t, fs, "synced")
+	if err != nil || string(got) != "synced data" {
+		t.Fatalf("synced file after crash: %q, %v", got, err)
+	}
+	got, err = readAll(t, fs, "unsynced")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("unsynced contents survived crash: %q, %v", got, err)
+	}
+}
+
+// A created-and-synced file whose directory was never synced vanishes
+// entirely on crash: file sync persists contents, not the name.
+func TestCrashDropsUnsyncedNamespace(t *testing.T) {
+	fs := New()
+	writeAll(t, fs, "orphan", []byte("content"), true, false)
+	fs.Crash()
+	if _, err := readAll(t, fs, "orphan"); err == nil {
+		t.Fatal("file with unsynced directory entry survived crash")
+	}
+}
+
+// A rename without a directory sync is undone by a crash; with the sync
+// it is durable (and the old name stays gone).
+func TestCrashRevertsUnsyncedRename(t *testing.T) {
+	fs := New()
+	writeAll(t, fs, "a", []byte("payload"), true, true)
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if _, err := readAll(t, fs, "b"); err == nil {
+		t.Fatal("unsynced rename survived crash")
+	}
+	if got, err := readAll(t, fs, "a"); err != nil || string(got) != "payload" {
+		t.Fatalf("original name after reverted rename: %q, %v", got, err)
+	}
+
+	if err := fs.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got, err := readAll(t, fs, "b"); err != nil || string(got) != "payload" {
+		t.Fatalf("synced rename after crash: %q, %v", got, err)
+	}
+	if _, err := readAll(t, fs, "a"); err == nil {
+		t.Fatal("old name survived synced rename")
+	}
+}
+
+// The crash point makes the armed operation fail, everything after it
+// fail, and handles from before the crash permanently stale.
+func TestCrashPointAndStaleHandles(t *testing.T) {
+	fs := New()
+	writeAll(t, fs, "f", []byte("x"), true, true)
+	f, err := fs.OpenAppend("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetCrashAt(fs.Ops() + 1)
+	if _, err := f.Write([]byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write at crash point: %v", err)
+	}
+	if _, err := fs.Create("g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after crash: %v", err)
+	}
+	fs.Crash()
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write: %v", err)
+	}
+	if got, err := readAll(t, fs, "f"); err != nil || string(got) != "x" {
+		t.Fatalf("file after crash: %q, %v", got, err)
+	}
+}
+
+// Transient faults: FailAt fails one op and keeps going; ShortWriteAt
+// persists half the buffer and errors.
+func TestTransientFaultInjection(t *testing.T) {
+	fs := New()
+	boom := errors.New("boom")
+	fs.FailAt(fs.Ops()+1, boom)
+	if _, err := fs.Create("f"); !errors.Is(err, boom) {
+		t.Fatalf("FailAt: %v", err)
+	}
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatalf("fs did not keep working after transient fault: %v", err)
+	}
+	fs.ShortWriteAt(fs.Ops() + 1)
+	n, err := f.Write([]byte("abcd"))
+	if err == nil || n != 2 {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if got := fs.names["f"].data; string(got) != "ab" {
+		t.Fatalf("volatile contents after short write: %q", got)
+	}
+}
+
+// Torn crashes may persist any prefix of an unsynced append, but never
+// bytes that were not written, and never reorder within the file.
+func TestCrashTornPersistsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sawPartial := false
+	for trial := 0; trial < 50; trial++ {
+		fs := New()
+		writeAll(t, fs, "f", []byte("base"), true, true)
+		f, err := fs.OpenAppend("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("-tail")); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashTorn(rng)
+		got, err := readAll(t, fs, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "base-tail"
+		if len(got) < len("base") || len(got) > len(want) || string(got) != want[:len(got)] {
+			t.Fatalf("trial %d: torn contents %q not a prefix of %q", trial, got, want)
+		}
+		if len(got) > len("base") && len(got) < len(want) {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Fatal("50 torn crashes never produced a partial append")
+	}
+}

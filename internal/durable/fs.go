@@ -1,0 +1,123 @@
+// Package durable is the durability subsystem: atomic checksummed
+// snapshot generations, a write-ahead commit journal, and startup
+// recovery that together make the paper's recovery story (T4 #5:
+// "a snapshot of the immutable state is all there is") hold under real
+// crashes. The Store ties them together: every recorded commit is
+// appended to the journal before the in-memory head moves (write-ahead),
+// snapshots checkpoint the journal away, and Recover rebuilds a database
+// from the newest valid snapshot plus the journal tail — re-deriving IVM
+// state through the normal transaction path rather than restoring
+// physical bytes.
+//
+// All file operations go through the FS interface so the fault-injection
+// harness (internal/durable/faultfs) can simulate crashes at every write,
+// sync and rename, including torn writes and lost directory entries —
+// exactly the failure modes catalogued by Pillai et al. (OSDI '14).
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the durability layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's contents to stable storage; until it
+	// returns, written data may be lost by a crash.
+	Sync() error
+}
+
+// FS abstracts the filesystem operations the durability layer performs.
+// The operating-system implementation is OS; faultfs provides an
+// in-memory implementation with injectable crash points.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// OpenRead opens name for reading.
+	OpenRead(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname. The rename is
+	// only durable after SyncDir on the containing directory.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (durable after SyncDir).
+	Remove(name string) error
+	// ReadDir lists the entry names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir flushes dir's entries (creates, renames, removes) to
+	// stable storage.
+	SyncDir(dir string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error)   { return os.Create(name) }
+func (osFS) OpenRead(name string) (File, error) { return os.Open(name) }
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeFileAtomic writes the bytes produced by write to path with full
+// crash safety: temp file in the same directory, fsync the file, rename
+// over path, fsync the directory. A crash at any point leaves either the
+// old file or the new one, never a torn mix.
+func writeFileAtomic(fsys FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,140 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"logicblox/internal/core"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	payload := []byte("the snapshot payload")
+	framed := frameSnapshot(payload)
+	got, isFramed, err := unframeSnapshot(framed)
+	if err != nil || !isFramed {
+		t.Fatalf("unframe: framed=%v err=%v", isFramed, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+}
+
+// Any corruption of the framed region past the magic — header fields or
+// payload — must surface as ErrCorruptSnapshot, never as silent success
+// with different bytes.
+func TestFrameDetectsEveryByteFlip(t *testing.T) {
+	payload := []byte("all file systems are not created equal")
+	framed := frameSnapshot(payload)
+	for i := len(snapMagic); i < len(framed); i++ {
+		mut := append([]byte(nil), framed...)
+		mut[i] ^= 0x40
+		_, isFramed, err := unframeSnapshot(mut)
+		if !isFramed {
+			t.Fatalf("offset %d: flip made the file unrecognizable as framed", i)
+		}
+		if i < 12 {
+			// Version field: reported as unsupported, still an error.
+			if err == nil {
+				t.Fatalf("offset %d (version): no error", i)
+			}
+			continue
+		}
+		if !errors.Is(err, core.ErrCorruptSnapshot) {
+			t.Fatalf("offset %d: err = %v, want ErrCorruptSnapshot", i, err)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	framed := frameSnapshot([]byte("some payload bytes"))
+	for _, n := range []int{len(framed) - 1, snapHeaderSize + 3, snapHeaderSize, 12} {
+		_, isFramed, err := unframeSnapshot(framed[:n])
+		if !isFramed || !errors.Is(err, core.ErrCorruptSnapshot) {
+			t.Fatalf("truncate to %d: framed=%v err=%v, want corrupt", n, isFramed, err)
+		}
+	}
+}
+
+func TestWriteReadSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.lbsnap")
+	want := []byte("gob payload stand-in")
+	if err := WriteSnapshotFile(OS, path, func(w io.Writer) error {
+		_, err := w.Write(want)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("payload = %q, want %q", got, want)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// Pre-durability snapshots were bare gob streams; ReadSnapshotFile hands
+// them back whole so core.LoadDatabase's own hardening applies.
+func TestReadSnapshotFileLegacyRawGob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.snapshot")
+	raw := []byte{0x1f, 0x8b, 'n', 'o', 't', 'f', 'r', 'a', 'm', 'e', 'd'}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("legacy payload = %q, want %q", got, raw)
+	}
+}
+
+func TestSnapNameRoundtrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 255, 1 << 40} {
+		got, ok := snapSeq(snapName(seq))
+		if !ok || got != seq {
+			t.Fatalf("snapSeq(snapName(%d)) = %d, %v", seq, got, ok)
+		}
+	}
+	for _, bad := range []string{"journal.lbj", "snap-zz.lbsnap", "snap-01.lbsnap", "x"} {
+		if _, ok := snapSeq(bad); ok {
+			t.Fatalf("snapSeq(%q) unexpectedly ok", bad)
+		}
+	}
+}
+
+func TestPruneGenerations(t *testing.T) {
+	dir := t.TempDir()
+	var seqs []uint64
+	for _, seq := range []uint64{3, 7, 12, 20} {
+		if err := WriteSnapshotFile(OS, filepath.Join(dir, snapName(seq)), func(w io.Writer) error {
+			_, err := w.Write([]byte{byte(seq)})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	kept, err := pruneGenerations(OS, dir, seqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 || kept[0] != 12 || kept[1] != 20 {
+		t.Fatalf("kept = %v, want [12 20]", kept)
+	}
+	listed, err := listGenerations(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 2 || listed[0] != 12 || listed[1] != 20 {
+		t.Fatalf("listed = %v, want [12 20]", listed)
+	}
+}

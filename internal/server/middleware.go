@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -34,6 +35,10 @@ func statusFor(err error) (status int, code string) {
 		return http.StatusBadRequest, "parse"
 	case errors.Is(err, core.ErrTypecheck):
 		return http.StatusUnprocessableEntity, "typecheck"
+	case errors.Is(err, core.ErrCorruptSnapshot):
+		return http.StatusBadRequest, "corrupt_snapshot"
+	case errors.Is(err, core.ErrDurability):
+		return http.StatusInternalServerError, "durability"
 	case errors.Is(err, errBusy):
 		return http.StatusServiceUnavailable, "busy"
 	default:
@@ -49,9 +54,29 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 
 func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		// Jittered so a fleet of rejected clients does not retry in
+		// lockstep and re-saturate the pool on the same tick.
+		w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(3)))
 	}
 	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+// backoffConflict sleeps before optimistic re-execution attempt n
+// (1-based): exponential from 2ms capped at 50ms, with full jitter so
+// colliding writers desynchronize instead of re-colliding. It returns
+// early if the request's context ends first.
+func backoffConflict(ctx context.Context, attempt int) {
+	d := 2 * time.Millisecond << min(attempt-1, 5)
+	if d > 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	d = time.Duration(rand.Int64N(int64(d))) + time.Millisecond
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {

@@ -22,6 +22,11 @@
 //	GET  /debug/vars obs registry, expvar-style JSON
 //	GET  /healthz    liveness (503 while draining)
 //
+// With Config.Durable set, every committed transaction is journaled
+// write-ahead through internal/durable before the client sees its ack,
+// and /healthz reports the store's recovery and checkpoint state; see
+// docs/durability.md.
+//
 // See docs/server.md for the wire format and the error-code table.
 package server
 
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"logicblox/internal/core"
+	"logicblox/internal/durable"
 	"logicblox/internal/obs"
 	"logicblox/internal/relation"
 	"logicblox/internal/tuple"
@@ -63,6 +69,11 @@ type Config struct {
 	// Obs receives all server and engine metrics (default: a fresh
 	// registry).
 	Obs *obs.Registry
+	// Durable, when set, is the durability subsystem the served database
+	// commits through: every transaction is journaled write-ahead
+	// (Database.CommitIfRecorded) and /load re-anchors the store on the
+	// uploaded snapshot. nil serves purely in memory.
+	Durable *durable.Store
 }
 
 // Server serves one Database over HTTP. It is safe for concurrent use;
@@ -164,6 +175,16 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *Request) (*
 	return r, func() {}, true
 }
 
+// commitTxn commits ws over parent: journaled write-ahead
+// (CommitIfRecorded) when the server runs durable, plain CommitIf
+// otherwise. rec carries the request needed to replay the transaction.
+func (s *Server) commitTxn(branch string, parent, ws *core.Workspace, rec core.CommitRecord) error {
+	if s.cfg.Durable != nil {
+		return s.Database().CommitIfRecorded(branch, parent, ws, rec)
+	}
+	return s.Database().CommitIf(branch, parent, ws)
+}
+
 // handleExec runs an exec transaction through the optimistic-commit
 // loop: execute on the branch-head snapshot, CommitIf, and on a lost
 // race re-execute against the new head.
@@ -192,7 +213,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: version, Retries: retries})
 			return
 		}
-		err = s.Database().CommitIf(req.Branch, head, res.Workspace)
+		err = s.commitTxn(req.Branch, head, res.Workspace, core.CommitRecord{Kind: "exec", Src: req.Src})
 		if err == nil {
 			s.reg.Counter("server.commits").Inc()
 			writeJSON(w, http.StatusOK, ExecResponse{
@@ -204,6 +225,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, core.ErrConflict) && retries < s.cfg.MaxRetries && r.Context().Err() == nil {
 			retries++
 			s.reg.Counter("server.commit.retries").Inc()
+			backoffConflict(r.Context(), retries)
 			continue
 		}
 		s.reg.Counter("server.commit.conflicts").Inc()
@@ -260,7 +282,7 @@ func (s *Server) handleAddBlock(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, err)
 			return
 		}
-		err = s.Database().CommitIf(req.Branch, head, next)
+		err = s.commitTxn(req.Branch, head, next, core.CommitRecord{Kind: "addblock", Name: req.Name, Src: req.Src})
 		if err == nil {
 			s.reg.Counter("server.commits").Inc()
 			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: next.Version(), Retries: retries})
@@ -269,6 +291,7 @@ func (s *Server) handleAddBlock(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, core.ErrConflict) && retries < s.cfg.MaxRetries && r.Context().Err() == nil {
 			retries++
 			s.reg.Counter("server.commit.retries").Inc()
+			backoffConflict(r.Context(), retries)
 			continue
 		}
 		s.reg.Counter("server.commit.conflicts").Inc()
@@ -307,12 +330,9 @@ func (s *Server) handleBranchesPost(w http.ResponseWriter, r *http.Request) {
 	case "commit":
 		// Promote branch From's head onto branch To (a pointer-swap
 		// commit, e.g. merging an accepted what-if scenario back).
-		ws, err := db.Workspace(req.From)
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		if err := db.Commit(req.To, ws); err != nil {
+		// Promote is described entirely by the branch names, so it is
+		// journaled and replayable under durability.
+		if err := db.Promote(req.From, req.To); err != nil {
 			s.writeError(w, err)
 			return
 		}
@@ -402,12 +422,32 @@ func (s *Server) handleSave(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleLoad replaces the served database with the snapshot in the
-// request body (derived predicates re-materialize during restore).
+// request body (derived predicates re-materialize during restore). A
+// corrupt snapshot is rejected 400 (core.ErrCorruptSnapshot) without
+// touching the served database. Under durability the store is
+// re-anchored: the old database is detached from the journal, the new
+// one's sequence numbers are aligned past everything journaled, and a
+// checkpoint makes the uploaded state the newest snapshot generation
+// before any new commit is acknowledged.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	db, err := core.LoadDatabase(r.Body)
 	if err != nil {
-		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		s.writeError(w, err)
 		return
+	}
+	if st := s.cfg.Durable; st != nil {
+		old := s.Database()
+		// Detach the old database first: commits racing the swap stay in
+		// memory only, and nothing journals between the alignment read
+		// and the checkpoint.
+		old.SetCommitHook(nil)
+		db.AlignSeq(old.Seq() + 1)
+		if err := st.Checkpoint(db.SaveSnapshot); err != nil {
+			old.SetCommitHook(st.LogCommit) // roll back the handoff
+			s.writeError(w, fmt.Errorf("%w: checkpointing loaded snapshot: %v", core.ErrDurability, err))
+			return
+		}
+		db.SetCommitHook(st.LogCommit)
 	}
 	s.db.Store(db)
 	s.reg.Counter("server.loads").Inc()
@@ -448,6 +488,12 @@ func (s *Server) refreshGauges() {
 		s.reg.Gauge("treap.nodes_allocated").Set(st.NodesAllocated)
 		s.reg.Gauge("treap.shared_subtrees").Set(st.SharedSubtrees)
 	}
+	if st := s.cfg.Durable; st != nil {
+		d := st.Stats()
+		s.reg.Gauge("durable.pending_commits").Set(int64(d.PendingCommits))
+		s.reg.Gauge("durable.generations").Set(int64(d.Generations))
+		s.reg.Gauge("durable.last_seq").Set(int64(d.LastSeq))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -458,11 +504,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"branches": len(s.Database().Branches()),
 		"versions": s.Database().Versions(),
-	})
+	}
+	if st := s.cfg.Durable; st != nil {
+		body["durable"] = st.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // jsonBody decodes a JSON body, bounding it to keep a hostile client

@@ -112,6 +112,12 @@ var (
 	// ErrConstraint marks a transaction aborted by an integrity
 	// constraint violation.
 	ErrConstraint = core.ErrConstraint
+	// ErrCorruptSnapshot marks a snapshot file or stream that fails
+	// validation (bad checksum, truncation, undecodable state).
+	ErrCorruptSnapshot = core.ErrCorruptSnapshot
+	// ErrDurability marks a commit rejected because its journal append
+	// failed; the in-memory state is untouched.
+	ErrDurability = core.ErrDurability
 )
 
 // Option configures the root workspace of a database opened with Open;
