@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test
+.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint
 
-ci: fmt-check vet build race difftest serve-test durable-test
+ci: fmt-check lint build race difftest serve-test durable-test
+
+# The static-analysis gate: go vet plus the repository's own analyzer
+# suite (immutable, errwrap, ctxloop, obssafe — see docs/analysis.md).
+# The suite has no suppression mechanism; the tree must be clean.
+lint: vet
+	$(GO) run ./cmd/lb-lint ./...
 
 # The differential harness: generated programs evaluated by the LFTJ
 # engine (every candidate order, plan cache cold and warm) and by all

@@ -1,0 +1,94 @@
+// Command lb-lint runs this repository's static-analysis suite.
+//
+// Two modes:
+//
+//	lb-lint [packages...]
+//	    Run the Go analyzers (immutable, errwrap, ctxloop, obssafe)
+//	    over the given package patterns (default ./...). Any finding is
+//	    an error: the suite has no suppression mechanism, so the exit
+//	    status is 1 unless the tree is clean.
+//
+//	lb-lint -logiql file.logic [file.logic...]
+//	    Parse each LogiQL file and print warning-tier findings from the
+//	    program checker (dead rules, unconsumed heads, singleton
+//	    variables, duplicate/subsumed rules, unsatisfiable constraint
+//	    bodies). Warnings are advisory and do not fail the run; only
+//	    unreadable or unparsable files do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logicblox/internal/analysis"
+	"logicblox/internal/analysis/logiql"
+	"logicblox/internal/parser"
+)
+
+func main() {
+	logiqlMode := flag.Bool("logiql", false, "check LogiQL program files instead of Go packages")
+	list := flag.Bool("list", false, "list the Go analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *logiqlMode {
+		os.Exit(runLogiQL(flag.Args()))
+	}
+	os.Exit(runGo(flag.Args()))
+}
+
+func runGo(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lb-lint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lb-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lb-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func runLogiQL(files []string) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "lb-lint -logiql: no files given")
+		return 2
+	}
+	status := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lb-lint: %v\n", err)
+			status = 1
+			continue
+		}
+		prog, err := parser.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lb-lint: %s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		for _, w := range logiql.CheckProgram(prog) {
+			fmt.Printf("%s: %s\n", path, w)
+		}
+	}
+	return status
+}

@@ -31,7 +31,12 @@
 //	:history                    list committed versions
 //	:branchat <i> <name>        branch from a historical version (time travel)
 //	:solve                      run the LP/MIP solver on the current logic
+//	:check [file]               warning-tier program checks (dead rules,
+//	                            unconsumed heads, singleton variables, …)
+//	                            over the installed logic, optionally
+//	                            merged with a candidate file
 //	:plans                      dump the adaptive optimizer's plan store
+//	                            with per-plan drift history
 //	:save <file>                write a snapshot of all branches
 //	:open <file>                replace the session with a saved snapshot
 //	:help                       show this help
@@ -189,7 +194,7 @@ func (r *repl) command(line string, blockName *string) bool {
 		fmt.Fprintln(r.out, "commands: :addblock <name> <<  |  :removeblock <name>  |  :load <name> <file>")
 		fmt.Fprintln(r.out, "          :import <pred> <file.csv>")
 		fmt.Fprintln(r.out, "          :blocks  :rel <pred>  :branch <from> <to>  :checkout <br>  :branches")
-		fmt.Fprintln(r.out, "          :solve  :stats  :plans  :quit")
+		fmt.Fprintln(r.out, "          :solve  :check [file]  :stats  :plans  :quit")
 		fmt.Fprintln(r.out, "queries:  ?- _(x) <- p(x).        exec:  +p(\"a\").")
 	case ":stats":
 		if r.reg == nil {
@@ -207,6 +212,30 @@ func (r *repl) command(line string, blockName *string) bool {
 			break
 		}
 		fmt.Fprint(r.out, logicblox.FormatPlanTable(ps.Stats(), ps.Snapshot()))
+	case ":check":
+		if len(fields) > 2 {
+			fmt.Fprintln(r.out, "usage: :check [file]")
+			break
+		}
+		src := ""
+		if len(fields) == 2 {
+			data, err := os.ReadFile(fields[1])
+			if err != nil {
+				fmt.Fprintln(r.out, "error:", err)
+				break
+			}
+			src = string(data)
+		}
+		ws := must(r.db.Workspace(r.branch))
+		warns, err := ws.CheckProgram(src)
+		if err != nil {
+			fmt.Fprintln(r.out, "error:", err)
+			break
+		}
+		for _, w := range warns {
+			fmt.Fprintln(r.out, " ", w)
+		}
+		fmt.Fprintf(r.out, "  (%d warnings)\n", len(warns))
 	case ":addblock":
 		if len(fields) < 3 || fields[2] != "<<" {
 			fmt.Fprintln(r.out, "usage: :addblock <name> <<")

@@ -234,3 +234,43 @@ q(x) <- p(x).
 		}
 	}
 }
+
+func TestReplCheck(t *testing.T) {
+	out := runScript(t, `
+:addblock orphan <<
+flagged(sku) <- sales(sku, week).
+>>
+:check
+`)
+	for _, want := range []string{
+		"singleton-var",
+		`"week"`,
+		"unconsumed",
+		`"flagged"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplCheckFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "candidate.logic")
+	if err := os.WriteFile(path, []byte("report(sku) <- flagged(sku).\nreport(sku) -> string(sku).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runScript(t, `
+:addblock producer <<
+flagged(sku) <- sales(sku).
+>>
+:check `+path+`
+`)
+	// The candidate consumes flagged, so the unconsumed warning the bare
+	// workspace would produce must be gone.
+	if strings.Contains(out, "unconsumed") {
+		t.Errorf("candidate consumer should clear unconsumed warning:\n%s", out)
+	}
+	if !strings.Contains(out, "(0 warnings)") {
+		t.Errorf("expected a clean check:\n%s", out)
+	}
+}

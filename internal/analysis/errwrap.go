@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrwrapAnalyzer enforces the sentinel-error contract: typed sentinels
+// (package-level `var ErrFoo = errors.New(...)` and friends) are part of
+// the public error surface, so call sites must dispatch with errors.Is —
+// never `==`, which breaks the moment a layer wraps the error — and
+// wrapping layers must use the `%w` verb so errors.Is keeps seeing the
+// sentinel through the wrap.
+var ErrwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc:  "flag == / != comparison against error sentinels and sentinel wrapping without %w",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, e)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelCompare reports e when it compares an error against a
+// package-level Err* sentinel with == or !=.
+func checkSentinelCompare(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{e.X, e.Y} {
+		if v := sentinelVar(pass, side); v != nil {
+			pass.Reportf(e.Pos(),
+				"error compared against sentinel %s with %s; use errors.Is so wrapped errors still match",
+				v.Name(), e.Op)
+			return
+		}
+	}
+}
+
+// checkErrorfWrap reports Errorf-style calls that pass an Err* sentinel
+// argument while the constant format string carries no %w verb: the
+// resulting error hides the sentinel from errors.Is.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if calleeName(call) != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if v := sentinelVar(pass, arg); v != nil {
+			pass.Reportf(call.Pos(),
+				"sentinel %s passed to Errorf without a %%w verb; the wrap hides it from errors.Is",
+				v.Name())
+			return
+		}
+	}
+}
+
+// sentinelVar resolves expr to a package-level variable of type error
+// whose name starts with "Err", or nil.
+func sentinelVar(pass *Pass, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || v.Name() == "Err" {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() { // must be package-level
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isErrorType(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+		return true
+	}
+	// Concrete sentinel types (var ErrFoo = myErr{}) still count when they
+	// implement error.
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}
+
+// constString evaluates expr as a constant string.
+func constString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package with its syntax trees.
+type Package struct {
+	PkgPath string
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg mirrors the fields of `go list -json` this loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns with the go command and
+// type-checks the ones belonging to the surrounding module from source,
+// in dependency order. Dependencies outside the module (the standard
+// library) are resolved through the compiler's export data, so loading
+// needs no network and no third-party tooling.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Standard,Export,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	var listed []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	// Targets are the module's own packages; everything else (stdlib) is
+	// imported from export data. -deps emits dependencies before
+	// dependents, so type-checking in listing order resolves module
+	// imports from the cache below.
+	fset := token.NewFileSet()
+	exportPaths := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exportPaths[p.ImportPath] = p.Export
+		}
+	}
+	imp := &cachedImporter{
+		local: map[string]*types.Package{},
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			exp, ok := exportPaths[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(exp)
+		}),
+	}
+
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+		}
+		imp.local[p.ImportPath] = tpkg
+		pkgs = append(pkgs, &Package{
+			PkgPath: p.ImportPath,
+			Name:    p.Name,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// cachedImporter resolves module-local imports from already-checked
+// packages and everything else from compiler export data.
+type cachedImporter struct {
+	local map[string]*types.Package
+	gc    types.Importer
+}
+
+// Import implements types.Importer.
+func (ci *cachedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ci.local[path]; ok {
+		return p, nil
+	}
+	return ci.gc.Import(path)
+}

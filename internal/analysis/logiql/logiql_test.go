@@ -1,0 +1,233 @@
+package logiql
+
+import (
+	"strings"
+	"testing"
+
+	"logicblox/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) []Warning {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return CheckProgram(prog)
+}
+
+// wantWarning asserts at least one warning of the given check mentions
+// substr in its message or clause.
+func wantWarning(t *testing.T, warns []Warning, check, substr string) {
+	t.Helper()
+	for _, w := range warns {
+		if w.Check == check && (strings.Contains(w.Message, substr) || strings.Contains(w.Clause, substr)) {
+			return
+		}
+	}
+	t.Errorf("no %s warning mentioning %q in %v", check, substr, warns)
+}
+
+func wantNone(t *testing.T, warns []Warning, check string) {
+	t.Helper()
+	for _, w := range warns {
+		if w.Check == check {
+			t.Errorf("unexpected %s warning: %s", check, w)
+		}
+	}
+}
+
+func TestCleanProgramHasNoWarnings(t *testing.T) {
+	warns := mustParse(t, `
+		margin[sku] = m <- revenue[sku] = r, cost[sku] = c, m = r - c.
+		flagged(sku) <- margin[sku] = m, m < 0.0.
+		report(sku) <- flagged(sku).
+		report(sku) -> sku(sku).
+	`)
+	if len(warns) != 0 {
+		t.Fatalf("clean program produced warnings: %v", warns)
+	}
+}
+
+func TestDeadRuleRecursionWithoutBase(t *testing.T) {
+	warns := mustParse(t, `
+		reach(x, y) <- reach(x, y), edge(x, y).
+		out(x) <- reach(x, x).
+	`)
+	wantWarning(t, warns, CheckDeadRule, "reach")
+	// out depends on reach, which never derives: also dead.
+	if n := countCheck(warns, CheckDeadRule); n != 2 {
+		t.Fatalf("got %d dead-rule warnings, want 2: %v", n, warns)
+	}
+}
+
+func TestDeadRuleBaseCaseRevives(t *testing.T) {
+	warns := mustParse(t, `
+		reach(x, y) <- edge(x, y).
+		reach(x, y) <- reach(x, z), edge(z, y).
+		out(x) <- reach(x, x).
+	`)
+	wantNone(t, warns, CheckDeadRule)
+}
+
+func TestUnconsumedHead(t *testing.T) {
+	warns := mustParse(t, `
+		audit(sku) <- sales(sku).
+	`)
+	wantWarning(t, warns, CheckUnconsumed, "audit")
+}
+
+func TestSelfRecursionIsNotConsumption(t *testing.T) {
+	warns := mustParse(t, `
+		chain(x, y) <- link(x, y).
+		chain(x, y) <- chain(x, z), link(z, y).
+	`)
+	wantWarning(t, warns, CheckUnconsumed, "chain")
+}
+
+func TestConstraintConsumes(t *testing.T) {
+	warns := mustParse(t, `
+		audit(sku) <- sales(sku).
+		audit(sku) -> sku(sku).
+	`)
+	wantNone(t, warns, CheckUnconsumed)
+}
+
+func TestDirectiveConsumes(t *testing.T) {
+	warns := mustParse(t, "stock(sku) <- sales(sku).\nlang:solve:variable(`stock).")
+	wantNone(t, warns, CheckUnconsumed)
+}
+
+func TestSingletonInBody(t *testing.T) {
+	warns := mustParse(t, `
+		big(sku) <- sales(sku, week), sku != "x".
+		sink(s) <- big(s).
+	`)
+	wantWarning(t, warns, CheckSingleton, `"week"`)
+}
+
+func TestSingletonInHeadVsBody(t *testing.T) {
+	// `total` appears only in the head, `units` only in the body: both
+	// are singletons even though they sit on opposite sides.
+	warns := mustParse(t, `
+		out[sku] = total <- sales(sku, units), sku != "x".
+		sink(s) <- out[s] = v, v > 0.
+	`)
+	wantWarning(t, warns, CheckSingleton, `"total"`)
+	if n := countCheck(warns, CheckSingleton); n != 2 {
+		t.Fatalf("got %d singleton warnings, want 2 (head + body): %v", n, warns)
+	}
+}
+
+func TestSharedVariableIsNotSingleton(t *testing.T) {
+	warns := mustParse(t, `
+		pair(x, y) <- left(x), right(y), x != y.
+		sink(x) <- pair(x, x).
+	`)
+	wantNone(t, warns, CheckSingleton)
+}
+
+func TestWildcardIsNotSingleton(t *testing.T) {
+	warns := mustParse(t, `
+		seen(sku) <- sales(sku, _).
+		sink(s) <- seen(s).
+	`)
+	wantNone(t, warns, CheckSingleton)
+}
+
+func TestConstraintsExemptFromSingleton(t *testing.T) {
+	warns := mustParse(t, `
+		sales(sku, units) -> sku(sku), int(units).
+	`)
+	wantNone(t, warns, CheckSingleton)
+}
+
+func TestAggregationVariablesCounted(t *testing.T) {
+	// z appears in the body atom and as the aggregation argument; u in
+	// the head and as the result: no singletons.
+	warns := mustParse(t, `
+		total[sku] = u <- agg<<u = total(z)>> sales(sku, z).
+		sink(s) <- total[s] = v, v > 0.
+	`)
+	wantNone(t, warns, CheckSingleton)
+}
+
+func TestNegationThroughAggregationStaysLive(t *testing.T) {
+	// The aggregation feeds from a predicate that is only negated
+	// elsewhere; negation must not make anything dead, and the agg
+	// variables must not trip the singleton check.
+	warns := mustParse(t, `
+		eligible(sku) <- sales(sku, _), !blocked(sku).
+		blocked(sku) <- recall(sku).
+		count_eligible[] = n <- agg<<n = count()>> eligible(_).
+		sink(v) <- count_eligible[] = v.
+	`)
+	wantNone(t, warns, CheckDeadRule)
+	wantNone(t, warns, CheckSingleton)
+}
+
+func TestDuplicateRule(t *testing.T) {
+	warns := mustParse(t, `
+		out(x) <- base(x).
+		out(x) <- base(x).
+		sink(x) <- out(x).
+	`)
+	wantWarning(t, warns, CheckDuplicate, "exact duplicate")
+}
+
+func TestSubsumedRule(t *testing.T) {
+	warns := mustParse(t, `
+		out(x) <- base(x).
+		out(x) <- base(x), extra(x).
+		sink(x) <- out(x).
+	`)
+	wantWarning(t, warns, CheckSubsumed, "more general rule")
+}
+
+func TestDifferentHeadsNotSubsumed(t *testing.T) {
+	warns := mustParse(t, `
+		a(x) <- base(x).
+		b(x) <- base(x), extra(x).
+		sink(x) <- a(x), b(x).
+	`)
+	wantNone(t, warns, CheckSubsumed)
+	wantNone(t, warns, CheckDuplicate)
+}
+
+func TestUnsatConstraintContradictoryAtom(t *testing.T) {
+	warns := mustParse(t, `
+		sales(sku, units), !sales(sku, units) -> int(units).
+	`)
+	wantWarning(t, warns, CheckUnsat, "requires both")
+}
+
+func TestUnsatConstraintFalseConstant(t *testing.T) {
+	warns := mustParse(t, `
+		sales(sku, units), 1 = 2 -> int(units).
+	`)
+	wantWarning(t, warns, CheckUnsat, "constant comparison")
+}
+
+func TestUnsatConstraintSelfStrictCompare(t *testing.T) {
+	warns := mustParse(t, `
+		sales(sku, units), units < units -> int(units).
+	`)
+	wantWarning(t, warns, CheckUnsat, "false for every binding")
+}
+
+func TestSatisfiableConstraintNotFlagged(t *testing.T) {
+	warns := mustParse(t, `
+		sales(sku, units), units > 0 -> int(units).
+	`)
+	wantNone(t, warns, CheckUnsat)
+}
+
+func countCheck(warns []Warning, check string) int {
+	n := 0
+	for _, w := range warns {
+		if w.Check == check {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsHandleTypes are the observability handle types whose nil pointer is
+// a documented, valid no-op: every exported pointer-receiver method must
+// guard the receiver before touching its fields, and no caller may
+// dereference a handle directly. This is what lets instrumented code run
+// unconditionally — `reg.Counter("x").Inc()` with observability off is a
+// chain of no-ops, not a panic.
+var obsHandleTypes = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Registry":  true,
+	"Span":      true,
+	"RuleStats": true,
+}
+
+// ObssafeAnalyzer enforces the nil-safe observability contract: inside
+// package obs, exported methods on the handle types must nil-check their
+// receiver (or purely delegate to exported methods that do) before any
+// field access; outside it, handles must never be dereferenced.
+var ObssafeAnalyzer = &Analyzer{
+	Name: "obssafe",
+	Doc:  "flag obs metric methods missing their nil-receiver guard and direct handle dereferences",
+	Run:  runObssafe,
+}
+
+func runObssafe(pass *Pass) error {
+	if pass.Pkg.Name() == "obs" {
+		checkObsMethods(pass)
+		return nil
+	}
+	checkObsDerefs(pass)
+	return nil
+}
+
+// checkObsMethods verifies the guard discipline of exported methods
+// declared on the handle types.
+func checkObsMethods(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recvField := fn.Recv.List[0]
+			if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+				continue
+			}
+			recvIdent := recvField.Names[0]
+			recvObj := pass.Info.Defs[recvIdent]
+			named := namedOf(recvObj.Type())
+			if named == nil || !obsHandleTypes[named.Obj().Name()] {
+				continue
+			}
+			if pos, bad := firstUnguardedUse(pass, fn, recvObj, named); bad {
+				pass.Reportf(pos,
+					"method %s.%s uses its receiver before the nil guard; obs handles are nil when observability is off, so guard with `if %s == nil { return ... }` first",
+					named.Obj().Name(), fn.Name.Name, recvIdent.Name)
+			}
+		}
+	}
+}
+
+// firstUnguardedUse scans the method body for a receiver use that happens
+// before the nil guard and is not a pure delegation to an exported method
+// of the same handle type.
+func firstUnguardedUse(pass *Pass, fn *ast.FuncDecl, recvObj types.Object, named *types.Named) (token.Pos, bool) {
+	safe := map[*ast.Ident]bool{}
+
+	// Uses inside `recv == nil` / `recv != nil` comparisons are safe.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		if isNilIdent(pass, y) {
+			x, y = y, x
+		}
+		if !isNilIdent(pass, x) {
+			return true
+		}
+		if id, ok := y.(*ast.Ident); ok && pass.Info.Uses[id] == recvObj {
+			safe[id] = true
+		}
+		return true
+	})
+
+	// Delegations `recv.Exported(...)` are safe: the exported callee is
+	// itself required to guard.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !sel.Sel.IsExported() {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != recvObj {
+			return true
+		}
+		if selection, ok := pass.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+			if callee := namedOf(selection.Recv()); callee == named {
+				safe[id] = true
+			}
+		}
+		return true
+	})
+
+	// The guard: a top-level `if recv == nil { ... return }`. Receiver
+	// uses positioned after it are safe.
+	guardEnd := token.NoPos
+	for _, stmt := range fn.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Init != nil {
+			continue
+		}
+		if be, ok := ifs.Cond.(*ast.BinaryExpr); ok && be.Op == token.EQL && terminates(ifs.Body) {
+			x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+			if isNilIdent(pass, x) {
+				x, y = y, x
+			}
+			if id, ok := x.(*ast.Ident); ok && pass.Info.Uses[id] == recvObj && isNilIdent(pass, y) {
+				guardEnd = ifs.End()
+				break
+			}
+		}
+	}
+
+	bad := token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != recvObj || safe[id] {
+			return true
+		}
+		if guardEnd.IsValid() && id.Pos() > guardEnd {
+			return true
+		}
+		if !bad.IsValid() || id.Pos() < bad {
+			bad = id.Pos()
+		}
+		return true
+	})
+	return bad, bad.IsValid()
+}
+
+// checkObsDerefs flags explicit dereferences of obs handle pointers
+// outside package obs: `*h` panics when observability is off.
+func checkObsDerefs(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			star, ok := n.(*ast.StarExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[star.X]
+			if !ok || tv.IsType() { // `*obs.Counter` in type syntax is fine
+				return true
+			}
+			ptr, ok := tv.Type.Underlying().(*types.Pointer)
+			if !ok {
+				return true
+			}
+			named := namedOf(ptr.Elem())
+			if named == nil || named.Obj().Pkg() == nil {
+				return true
+			}
+			if named.Obj().Pkg().Name() == "obs" && obsHandleTypes[named.Obj().Name()] {
+				pass.Reportf(star.Pos(),
+					"dereference of obs handle *%s panics when observability is off; use its nil-safe methods instead",
+					named.Obj().Name())
+			}
+			return true
+		})
+	}
+	return
+}
+
+// isNilIdent reports whether expr is the predeclared nil.
+func isNilIdent(pass *Pass, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// terminates reports whether the block's last statement is a return.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}

@@ -1,0 +1,74 @@
+// Package engine is a ctxloop-analyzer fixture: its name is in the
+// checked set, so unbounded loops here must poll a context.
+package engine
+
+type ctx struct{}
+
+func (c *ctx) Err() error { return nil }
+
+type stepper struct {
+	deltas []int
+}
+
+func badFixpoint(s *stepper) {
+	deltas := s.deltas
+	for len(deltas) > 0 { // want: never polls a context
+		deltas = deltas[1:]
+	}
+}
+
+func badRetry(try func() bool) {
+	for { // want: never polls a context
+		if try() {
+			return
+		}
+	}
+}
+
+func okFixpoint(c *ctx, s *stepper) error {
+	deltas := s.deltas
+	for len(deltas) > 0 {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		deltas = deltas[1:]
+	}
+	return nil
+}
+
+func okSelect(done chan struct{}, try func() bool) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if try() {
+			return
+		}
+	}
+}
+
+func okCounter(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func okRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func okWhileCounter(limit int) int {
+	i := 0
+	for i < limit {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,59 @@
+// Package errs is an errwrap-analyzer fixture: package-level Err*
+// sentinels compared with ==/!= or wrapped without %w must be flagged.
+// It declares its own error type and Errorf/Is helpers so the fixture
+// needs no imports; the analyzer keys on shapes, not import paths.
+package errs
+
+type sentinelError string
+
+func (e sentinelError) Error() string { return string(e) }
+
+// Package-level sentinels, as in internal/core.
+var (
+	ErrConflict error = sentinelError("conflict")
+	ErrParse    error = sentinelError("parse error")
+)
+
+// errLocal is lowercase: not part of the sentinel surface.
+var errLocal error = sentinelError("local")
+
+func work() error { return ErrConflict }
+
+// Is stands in for errors.Is; its raw comparison of two parameters is
+// not a sentinel comparison.
+func Is(err, target error) bool { return err == target }
+
+// Errorf stands in for fmt.Errorf.
+func Errorf(format string, args ...any) error {
+	_ = args
+	return sentinelError(format)
+}
+
+func badCompare() bool {
+	err := work()
+	return err == ErrConflict // want: errors.Is
+}
+
+func badNotEqual() bool {
+	return work() != ErrParse // want: errors.Is
+}
+
+func badWrap() error {
+	return Errorf("commit failed: %v", ErrConflict) // want: %w verb
+}
+
+func okIs(err error) bool {
+	return Is(err, ErrConflict)
+}
+
+func okWrap() error {
+	return Errorf("commit failed: %w", ErrConflict)
+}
+
+func okLocal() bool {
+	return work() == errLocal
+}
+
+func okNonError(errCode int) bool {
+	return errCode == 3
+}

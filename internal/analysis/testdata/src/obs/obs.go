@@ -1,0 +1,75 @@
+// Package obs is an obssafe-analyzer fixture: exported methods on the
+// handle types must nil-check their receiver (or delegate to an exported
+// method that does) before any other receiver use.
+package obs
+
+// Counter is a nil-safe counter handle.
+type Counter struct {
+	n int64
+}
+
+// Add is the guarded primitive.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.n += delta
+}
+
+// Inc delegates to Add, which carries the guard.
+func (c *Counter) Inc() {
+	c.Add(1)
+}
+
+// Value reads the count behind its guard.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Bad touches the receiver before the guard.
+func (c *Counter) Bad() int64 {
+	v := c.n // want: before the nil guard
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// Gauge is a nil-safe gauge handle.
+type Gauge struct {
+	v float64
+}
+
+// Set is missing its guard entirely.
+func (g *Gauge) Set(v float64) {
+	g.v = v // want: before the nil guard
+}
+
+// Load declares the guard late, after the var line, which is still fine:
+// the receiver is untouched until the guard runs.
+func (g *Gauge) Load() float64 {
+	var out float64
+	if g == nil {
+		return out
+	}
+	out = g.v
+	return out
+}
+
+// reset is unexported and exempt from the discipline.
+func (g *Gauge) reset() {
+	g.v = 0
+}
+
+// snapshotter is outside the handle set: no guard needed.
+type snapshotter struct {
+	v int
+}
+
+// Grab needs no guard.
+func (s *snapshotter) Grab() int {
+	return s.v
+}

@@ -1,0 +1,22 @@
+// Package obsuser is an obssafe-analyzer fixture for the caller side:
+// obs handles may be nil, so dereferencing one is flagged while calling
+// its nil-safe methods is not.
+package obsuser
+
+import "logicblox/internal/analysis/testdata/src/obs"
+
+type metrics struct {
+	reqs *obs.Counter
+}
+
+func record(m *metrics) {
+	m.reqs.Inc() // nil-safe method call: legal
+}
+
+func snapshotBad(m *metrics) obs.Counter {
+	return *m.reqs // want: dereference
+}
+
+func okPointer(m *metrics) *obs.Counter {
+	return m.reqs
+}

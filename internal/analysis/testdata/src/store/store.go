@@ -1,0 +1,13 @@
+// Package store is an immutable-analyzer negative fixture: its name is
+// not in the protected set, so identical-looking mutations are legal.
+package store
+
+type node struct {
+	size int
+	next *node
+}
+
+func push(n *node) {
+	n.size++
+	n.next = nil
+}

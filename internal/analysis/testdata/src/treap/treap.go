@@ -1,0 +1,55 @@
+// Package treap is an immutable-analyzer fixture: its name matches the
+// protected package, so mutations of node/Tree fields outside the mk
+// constructor must be flagged.
+package treap
+
+type node struct {
+	key, val    string
+	prio        uint64
+	size        int
+	left, right *node
+}
+
+// Tree is the persistent handle.
+type Tree struct {
+	ops  int
+	root *node
+}
+
+// mk is the allow-listed constructor: field writes here are legal.
+func mk(left, right *node, key, val string) *node {
+	n := &node{key: key, val: val, left: left, right: right}
+	n.size = 1
+	if left != nil {
+		n.size += left.size
+	}
+	if right != nil {
+		n.size += right.size
+	}
+	return n
+}
+
+func rotate(n *node) *node {
+	n.left = n.right // want: outside its constructors
+	n.size++         // want: outside its constructors
+	return n
+}
+
+func bump(t *Tree) {
+	t.ops = t.ops + 1 // want: outside its constructors
+}
+
+// fresh builds values through composite literals: always legal.
+func fresh(key, val string) Tree {
+	root := mk(nil, nil, key, val)
+	return Tree{ops: 1, root: root}
+}
+
+// walk only reads fields and reassigns plain locals: legal.
+func walk(t Tree) int {
+	n := 0
+	for cur := t.root; cur != nil; cur = cur.left {
+		n++
+	}
+	return n
+}

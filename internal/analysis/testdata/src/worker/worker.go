@@ -1,0 +1,11 @@
+// Package worker is a ctxloop-analyzer negative fixture: its name is
+// outside the checked set, so even a bare spin loop is not flagged.
+package worker
+
+func spin(try func() bool) {
+	for {
+		if try() {
+			return
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"logicblox/internal/analysis/logiql"
+)
+
+func checkWarns(t *testing.T, ws *Workspace, src string) []logiql.Warning {
+	t.Helper()
+	warns, err := ws.CheckProgram(src)
+	if err != nil {
+		t.Fatalf("CheckProgram: %v", err)
+	}
+	return warns
+}
+
+func hasCheck(warns []logiql.Warning, check, substr string) bool {
+	for _, w := range warns {
+		if w.Check == check && (strings.Contains(w.Message, substr) || strings.Contains(w.Clause, substr)) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckProgramWarnsWithoutRejecting(t *testing.T) {
+	ws := NewWorkspace()
+	ws, err := ws.AddBlock("base", "sales(sku, units) -> string(sku), int(units).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The candidate has a singleton variable and an unconsumed head: both
+	// warn, neither rejects.
+	warns := checkWarns(t, ws, "audit(sku) <- sales(sku, week).")
+	if !hasCheck(warns, logiql.CheckSingleton, `"week"`) {
+		t.Errorf("missing singleton warning: %v", warns)
+	}
+	if !hasCheck(warns, logiql.CheckUnconsumed, "audit") {
+		t.Errorf("missing unconsumed warning: %v", warns)
+	}
+	// The candidate must still be installable: warnings are advisory.
+	if _, err := ws.AddBlock("audit", "audit(sku) <- sales(sku, week)."); err != nil {
+		t.Fatalf("warned program was rejected: %v", err)
+	}
+}
+
+func TestCheckProgramParseErrorWrapped(t *testing.T) {
+	ws := NewWorkspace()
+	_, err := ws.CheckProgram("this is not logiql <-")
+	if !errors.Is(err, ErrParse) {
+		t.Fatalf("got %v, want ErrParse", err)
+	}
+}
+
+func TestCheckProgramSeesWholeWorkspace(t *testing.T) {
+	ws := NewWorkspace()
+	ws, err := ws.AddBlock("producer", "flagged(sku) <- sales(sku).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standalone, flagged is unconsumed.
+	if !hasCheck(checkWarns(t, ws, ""), logiql.CheckUnconsumed, "flagged") {
+		t.Fatal("flagged should be unconsumed before a consumer exists")
+	}
+	// A candidate consuming it clears the warning under the merge.
+	if hasCheck(checkWarns(t, ws, "report(sku) <- flagged(sku).\nreport(sku) -> string(sku)."), logiql.CheckUnconsumed, "flagged") {
+		t.Fatal("candidate consumer should clear the unconsumed warning")
+	}
+}
+
+func TestCheckProgramRuleDiesWhenAddblockReplacesConsumer(t *testing.T) {
+	ws := NewWorkspace()
+	ws, err := ws.AddBlock("producer", "flagged(sku) <- sales(sku).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err = ws.AddBlock("consumer", "report(sku) <- flagged(sku).\nreport(sku) -> string(sku).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCheck(checkWarns(t, ws, ""), logiql.CheckUnconsumed, "flagged") {
+		t.Fatal("flagged is consumed; no warning expected yet")
+	}
+	// Replace the consumer block with one that no longer reads flagged:
+	// only now does the producer rule become invisible.
+	ws, err = ws.RemoveBlock("consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err = ws.AddBlock("consumer", "report(sku) <- sales(sku).\nreport(sku) -> string(sku).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCheck(checkWarns(t, ws, ""), logiql.CheckUnconsumed, "flagged") {
+		t.Fatal("replacing the consumer block should orphan the producer rule")
+	}
+}

@@ -66,12 +66,28 @@ type planEntry struct {
 	// measured by the engine executing this plan for real. The first
 	// observation after plan choice becomes the baseline; later
 	// evaluations exceeding DriftFactor × baseline mark the entry stale.
+	// history keeps the most recent observations (up to historyCap) so
+	// drift is visible as a trajectory, not just its endpoints.
 	baselineOps int64
 	lastOps     int64
 	obsEvals    int64
 	obsOps      int64
+	history     []int64
 	hits        int64
 	stale       bool
+}
+
+// historyCap bounds the per-plan drift history: enough to see a trend
+// build toward the DriftFactor threshold, small enough to cost nothing.
+const historyCap = 16
+
+// pushHistory appends ops to the bounded observation history.
+func (e *planEntry) pushHistory(ops int64) {
+	if len(e.history) == historyCap {
+		copy(e.history, e.history[1:])
+		e.history = e.history[:historyCap-1]
+	}
+	e.history = append(e.history, ops)
 }
 
 // NewPlanStore returns an empty plan cache.
@@ -182,6 +198,7 @@ func (s *PlanStore) Observe(r *compiler.RulePlan, ops int64) {
 	e.obsEvals++
 	e.obsOps += ops
 	e.lastOps = ops
+	e.pushHistory(ops)
 	if e.baselineOps == 0 {
 		e.baselineOps = ops
 		if e.baselineOps < driftFloor {
@@ -269,7 +286,11 @@ type PlanSnapshot struct {
 	ObsOps      int64  `json:"obs_ops"`
 	BaselineOps int64  `json:"baseline_ops"`
 	LastOps     int64  `json:"last_ops"`
-	Stale       bool   `json:"stale,omitempty"`
+	// History is the trajectory of per-evaluation iterator-operation
+	// counts (most recent last, bounded): how the plan's observed cost
+	// moved relative to BaselineOps over time.
+	History []int64 `json:"history,omitempty"`
+	Stale   bool    `json:"stale,omitempty"`
 }
 
 // Snapshot copies every cached plan, sorted by head then source.
@@ -292,6 +313,7 @@ func (s *PlanStore) Snapshot() []PlanSnapshot {
 			ObsOps:      e.obsOps,
 			BaselineOps: e.baselineOps,
 			LastOps:     e.lastOps,
+			History:     append([]int64(nil), e.history...),
 			Stale:       e.stale,
 		})
 	}
@@ -317,6 +339,11 @@ type SavedPlan struct {
 	Cards       map[string]int
 	Preds       []string
 	BaselineOps int64
+	// History carries the recent observed-cost trajectory across
+	// restarts, so a reloaded store still shows how the plan has been
+	// trending (absent in snapshots written before the field existed;
+	// gob leaves it nil, which reads as "no observations yet").
+	History []int64
 }
 
 // Export returns the durable state of every fresh cached plan (stale
@@ -346,6 +373,7 @@ func (s *PlanStore) Export() []SavedPlan {
 			Cards:       cards,
 			Preds:       append([]string(nil), e.preds...),
 			BaselineOps: e.baselineOps,
+			History:     append([]int64(nil), e.history...),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
@@ -380,6 +408,7 @@ func (s *PlanStore) Seed(plans []SavedPlan) {
 			cards:       cards,
 			preds:       append([]string(nil), p.Preds...),
 			baselineOps: p.BaselineOps,
+			history:     append([]int64(nil), p.History...),
 		}
 	}
 }
@@ -393,8 +422,8 @@ func FormatPlanTable(stats StoreStats, plans []PlanSnapshot) string {
 	if len(plans) == 0 {
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-14s %-12s %10s %6s %9s %9s %6s  %s\n",
-		"HEAD", "ORDER", "SAMPLECOST", "HITS", "OBS_OPS", "BASELINE", "STALE", "SOURCE")
+	fmt.Fprintf(&b, "%-14s %-12s %10s %6s %9s %9s %6s %-22s  %s\n",
+		"HEAD", "ORDER", "SAMPLECOST", "HITS", "OBS_OPS", "BASELINE", "STALE", "DRIFT", "SOURCE")
 	for _, p := range plans {
 		order := make([]string, len(p.Order))
 		for i, o := range p.Order {
@@ -408,10 +437,33 @@ func FormatPlanTable(stats StoreStats, plans []PlanSnapshot) string {
 		if len(src) > 60 {
 			src = src[:57] + "..."
 		}
-		fmt.Fprintf(&b, "%-14s %-12s %10d %6d %9d %9d %6s  %s\n",
-			p.Head, strings.Join(order, ","), p.SampleCost, p.Hits, p.ObsOps, p.BaselineOps, stale, src)
+		fmt.Fprintf(&b, "%-14s %-12s %10d %6d %9d %9d %6s %-22s  %s\n",
+			p.Head, strings.Join(order, ","), p.SampleCost, p.Hits, p.ObsOps, p.BaselineOps, stale,
+			formatDrift(p.BaselineOps, p.History), src)
 	}
 	return b.String()
+}
+
+// formatDrift renders a plan's observed-cost trajectory compactly: the
+// most recent observations (oldest first) followed by the ratio of the
+// latest one to the baseline, e.g. "70,80,160 (2.5x)".
+func formatDrift(baseline int64, history []int64) string {
+	if len(history) == 0 {
+		return "-"
+	}
+	show := history
+	if len(show) > 5 {
+		show = show[len(show)-5:]
+	}
+	parts := make([]string, len(show))
+	for i, h := range show {
+		parts[i] = fmt.Sprint(h)
+	}
+	out := strings.Join(parts, ",")
+	if baseline > 0 {
+		out += fmt.Sprintf(" (%.1fx)", float64(history[len(history)-1])/float64(baseline))
+	}
+	return out
 }
 
 // inputCards snapshots the cardinality of each distinct body predicate.

@@ -280,3 +280,100 @@ func TestPlanStoreSnapshotAndFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanStoreDriftHistory(t *testing.T) {
+	_, rule := compileRule(t, `out(a, c) <- r(a, b), s(b, c).`)
+	base := planBase(300)
+	store := optimizer.NewPlanStore(optimizer.StoreOptions{})
+	if _, _, err := store.Choose(rule, relsOf(base)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any observation the history is empty and renders as "-".
+	if h := store.Snapshot()[0].History; len(h) != 0 {
+		t.Fatalf("fresh plan has history %v", h)
+	}
+
+	// Each Observe appends, oldest first, within the drift budget
+	// (baseline fixes at 100; 120 and 150 stay under DriftFactor 2×).
+	for _, ops := range []int64{100, 120, 150} {
+		store.Observe(rule, ops)
+	}
+	h := store.Snapshot()[0].History
+	if len(h) != 3 || h[0] != 100 || h[1] != 120 || h[2] != 150 {
+		t.Fatalf("history = %v, want [100 120 150]", h)
+	}
+
+	// The ring is bounded: after many observations only the most recent
+	// 16 survive, still oldest-first.
+	for i := int64(0); i < 30; i++ {
+		store.Observe(rule, 100+i)
+	}
+	h = store.Snapshot()[0].History
+	if len(h) != 16 {
+		t.Fatalf("history length = %d, want 16 (bounded ring)", len(h))
+	}
+	if h[len(h)-1] != 129 || h[0] != 114 {
+		t.Fatalf("ring kept wrong window: %v", h)
+	}
+}
+
+func TestPlanStoreHistorySurvivesExportSeed(t *testing.T) {
+	_, rule := compileRule(t, `out(a, c) <- r(a, b), s(b, c).`)
+	base := planBase(300)
+	store := optimizer.NewPlanStore(optimizer.StoreOptions{})
+	if _, _, err := store.Choose(rule, relsOf(base)); err != nil {
+		t.Fatal(err)
+	}
+	store.Observe(rule, 100)
+	store.Observe(rule, 130)
+
+	saved := store.Export()
+	if len(saved) != 1 {
+		t.Fatalf("exported %d plans, want 1", len(saved))
+	}
+	if h := saved[0].History; len(h) != 2 || h[0] != 100 || h[1] != 130 {
+		t.Fatalf("exported history = %v, want [100 130]", h)
+	}
+
+	restored := optimizer.NewPlanStore(optimizer.StoreOptions{})
+	restored.Seed(saved)
+	snaps := restored.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("restored %d plans, want 1", len(snaps))
+	}
+	if h := snaps[0].History; len(h) != 2 || h[0] != 100 || h[1] != 130 {
+		t.Fatalf("restored history = %v, want [100 130]", h)
+	}
+	// Restored history keeps accumulating in the same ring.
+	restored.Observe(rule, 150)
+	if h := restored.Snapshot()[0].History; len(h) != 3 || h[2] != 150 {
+		t.Fatalf("post-seed history = %v, want [100 130 150]", h)
+	}
+}
+
+func TestFormatPlanTableDriftColumn(t *testing.T) {
+	_, rule := compileRule(t, `out(a, c) <- r(a, b), s(b, c).`)
+	base := planBase(300)
+	store := optimizer.NewPlanStore(optimizer.StoreOptions{})
+	if _, _, err := store.Choose(rule, relsOf(base)); err != nil {
+		t.Fatal(err)
+	}
+
+	// With no observations yet the drift cell is a placeholder.
+	table := optimizer.FormatPlanTable(store.Stats(), store.Snapshot())
+	if !strings.Contains(table, "DRIFT") {
+		t.Fatalf("table missing DRIFT header:\n%s", table)
+	}
+
+	for _, ops := range []int64{100, 120, 150} {
+		store.Observe(rule, ops)
+	}
+	table = optimizer.FormatPlanTable(store.Stats(), store.Snapshot())
+	if !strings.Contains(table, "100,120,150") {
+		t.Fatalf("table missing drift trajectory:\n%s", table)
+	}
+	if !strings.Contains(table, "(1.5x)") {
+		t.Fatalf("table missing drift ratio:\n%s", table)
+	}
+}

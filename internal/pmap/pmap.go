@@ -88,11 +88,11 @@ type Set struct {
 
 // NewSet returns an empty persistent set, optionally seeded with elems.
 func NewSet(elems ...string) Set {
-	s := Set{t: treap.New[string, struct{}](stringOps())}
+	t := treap.New[string, struct{}](stringOps())
 	for _, e := range elems {
-		s.t = s.t.Insert(e, struct{}{})
+		t = t.Insert(e, struct{}{})
 	}
-	return s
+	return Set{t: t}
 }
 
 // Contains reports membership.

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestCheckEndpointWarnsWithoutRejecting seeds a workspace, checks a
+// candidate program with warning-tier smells, and verifies the same
+// candidate still installs: /check is advisory.
+func TestCheckEndpointWarnsWithoutRejecting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	mustOK(t, ts, "POST", "/addblock", Request{Name: "schema",
+		Src: `sales(sku, units) -> string(sku), int(units).`}, nil)
+
+	candidate := `audit(sku) <- sales(sku, week).`
+	var resp CheckResponse
+	mustOK(t, ts, "POST", "/check", Request{Src: candidate}, &resp)
+	if !resp.OK || resp.Branch != "main" {
+		t.Fatalf("check response = %+v", resp)
+	}
+	var haveSingleton, haveUnconsumed bool
+	for _, w := range resp.Warnings {
+		switch w.Check {
+		case "singleton-var":
+			if strings.Contains(w.Message, `"week"`) {
+				haveSingleton = true
+			}
+		case "unconsumed":
+			if strings.Contains(w.Message, `"audit"`) {
+				haveUnconsumed = true
+			}
+		}
+		if w.Clause == "" {
+			t.Errorf("warning without a clause: %+v", w)
+		}
+	}
+	if !haveSingleton || !haveUnconsumed {
+		t.Fatalf("missing expected warnings (singleton=%v unconsumed=%v): %+v",
+			haveSingleton, haveUnconsumed, resp.Warnings)
+	}
+
+	// The warned candidate must still install cleanly.
+	mustOK(t, ts, "POST", "/addblock", Request{Name: "audit", Src: candidate}, nil)
+}
+
+// TestCheckEndpointEmptySrcAuditsInstalledLogic verifies /check with no
+// candidate audits the branch's installed blocks.
+func TestCheckEndpointEmptySrcAuditsInstalledLogic(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mustOK(t, ts, "POST", "/addblock", Request{Name: "orphan",
+		Src: `flagged(sku) <- sales(sku).`}, nil)
+
+	var resp CheckResponse
+	mustOK(t, ts, "POST", "/check", Request{}, &resp)
+	found := false
+	for _, w := range resp.Warnings {
+		if w.Check == "unconsumed" && strings.Contains(w.Message, `"flagged"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected unconsumed warning for flagged, got %+v", resp.Warnings)
+	}
+}
+
+// TestCheckEndpointErrors verifies the parse-error and branch mappings.
+func TestCheckEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var er ErrorResponse
+	if status := do(t, ts, "POST", "/check", Request{Src: "not logiql <-"}, &er); status != http.StatusBadRequest {
+		t.Fatalf("parse error: status %d, body %+v", status, er)
+	}
+	if er.Code != "parse" {
+		t.Fatalf("parse error code = %q", er.Code)
+	}
+
+	if status := do(t, ts, "POST", "/check", Request{Branch: "nope"}, &er); status != http.StatusNotFound {
+		t.Fatalf("unknown branch: status %d, body %+v", status, er)
+	}
+	if er.Code != "no_such_branch" {
+		t.Fatalf("branch error code = %q", er.Code)
+	}
+}

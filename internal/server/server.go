@@ -13,6 +13,8 @@
 //	POST /exec       run an exec transaction and commit it
 //	POST /query      run a read-only query on the branch snapshot
 //	POST /addblock   install a block of logic and commit
+//	POST /check      warning-tier program checks over the branch's
+//	                 installed logic merged with an optional candidate
 //	GET  /branches   list branches
 //	POST /branches   create/branchat/delete/commit/diff branches
 //	GET  /versions   committed-version history
@@ -44,6 +46,7 @@ import (
 	"logicblox/internal/core"
 	"logicblox/internal/durable"
 	"logicblox/internal/obs"
+	"logicblox/internal/optimizer"
 	"logicblox/internal/relation"
 	"logicblox/internal/tuple"
 )
@@ -134,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/exec", s.endpoint("exec", http.MethodPost, true, s.handleExec))
 	mux.Handle("/query", s.endpoint("query", http.MethodPost, true, s.handleQuery))
 	mux.Handle("/addblock", s.endpoint("addblock", http.MethodPost, true, s.handleAddBlock))
+	mux.Handle("/check", s.endpoint("check", http.MethodPost, true, s.handleCheck))
 	mux.Handle("/branches", s.branchesRouter())
 	mux.Handle("/versions", s.endpoint("versions", http.MethodGet, false, s.handleVersions))
 	mux.Handle("/save", s.endpoint("save", http.MethodPost, true, s.handleSave))
@@ -298,6 +302,36 @@ func (s *Server) handleAddBlock(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+}
+
+// handleCheck runs the warning-tier LogiQL checker over the branch
+// head's installed logic merged with the candidate in Src (which may be
+// empty to audit the installed blocks alone). Read-only, no commit:
+// warnings are advisory, and the same candidate is still installable
+// through /addblock. Only an unparsable candidate fails (400, parse).
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	r, cancel, ok := s.decode(w, r, &req)
+	defer cancel()
+	if !ok {
+		return
+	}
+	head, err := s.Database().Workspace(req.Branch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	warns, err := head.CheckProgram(req.Src)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := make([]CheckWarning, len(warns))
+	for i, wn := range warns {
+		out[i] = CheckWarning{Check: wn.Check, Clause: wn.Clause, Message: wn.Message}
+	}
+	s.reg.Counter("server.checks").Inc()
+	writeJSON(w, http.StatusOK, CheckResponse{OK: true, Branch: req.Branch, Warnings: out})
 }
 
 func (s *Server) handleBranchesGet(w http.ResponseWriter, _ *http.Request) {
@@ -467,15 +501,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Snapshot().WritePrometheus(w)
 }
 
-// handleVars serves the same snapshot as /debug/vars-style JSON.
+// varsDocument is the /debug/vars body: the obs snapshot, plus — when
+// the served database runs the adaptive optimizer — the plan store's
+// traffic stats and per-plan snapshots with their drift history
+// (baseline and observed ops over time).
+type varsDocument struct {
+	obs.Snapshot
+	PlanStats *optimizer.StoreStats    `json:"plan_stats,omitempty"`
+	Plans     []optimizer.PlanSnapshot `json:"plans,omitempty"`
+}
+
+// handleVars serves the same snapshot as /debug/vars-style JSON,
+// extended with the adaptive optimizer's plan store when one is
+// attached (the store is shared across branches and versions, so the
+// default branch's head sees it).
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
 		return
 	}
 	s.refreshGauges()
+	doc := varsDocument{Snapshot: s.reg.Snapshot()}
+	if ws, err := s.Database().Workspace(core.DefaultBranch); err == nil {
+		if ps := ws.PlanStore(); ps != nil {
+			stats := ps.Stats()
+			doc.PlanStats = &stats
+			doc.Plans = ps.Snapshot()
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	s.reg.Snapshot().WriteJSON(w)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
 }
 
 func (s *Server) refreshGauges() {

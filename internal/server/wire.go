@@ -30,6 +30,25 @@ type Request struct {
 	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
+// CheckWarning is one advisory finding of POST /check: the warning-tier
+// LogiQL program checker's output (dead rules, unconsumed heads,
+// singleton variables, duplicate/subsumed rules, unsatisfiable
+// constraint bodies). Warnings never reject the program.
+type CheckWarning struct {
+	Check   string `json:"check"`
+	Clause  string `json:"clause"`
+	Message string `json:"message"`
+}
+
+// CheckResponse carries POST /check's warnings. OK is true whenever the
+// candidate parsed — warnings are advisory, so a warned program is
+// still installable.
+type CheckResponse struct {
+	OK       bool           `json:"ok"`
+	Branch   string         `json:"branch"`
+	Warnings []CheckWarning `json:"warnings"`
+}
+
 // BranchRequest is the body of POST /branches.
 type BranchRequest struct {
 	// Op is one of "create", "branchat", "delete", "commit", "diff".

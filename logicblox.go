@@ -35,6 +35,7 @@ package logicblox
 import (
 	"io"
 
+	"logicblox/internal/analysis/logiql"
 	"logicblox/internal/core"
 	"logicblox/internal/optimizer"
 	"logicblox/internal/relation"
@@ -78,6 +79,13 @@ type PlanStoreStats = optimizer.StoreStats
 func FormatPlanTable(stats PlanStoreStats, plans []PlanSnapshot) string {
 	return optimizer.FormatPlanTable(stats, plans)
 }
+
+// CheckWarning is one advisory finding from the warning-tier LogiQL
+// program checker (Workspace.CheckProgram, the REPL's :check command,
+// and the server's POST /check): dead rules, unconsumed heads, singleton
+// variables, duplicate/subsumed rules, unsatisfiable constraint bodies.
+// Warnings never reject a program.
+type CheckWarning = logiql.Warning
 
 // Relation is an immutable set of tuples (persistent storage).
 type Relation = relation.Relation
