@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint
+.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke
 
-ci: fmt-check lint build race difftest serve-test durable-test
+ci: fmt-check lint build race difftest serve-test durable-test bench-smoke
 
 # The static-analysis gate: go vet plus the repository's own analyzer
 # suite (immutable, errwrap, ctxloop, obssafe — see docs/analysis.md).
@@ -50,3 +50,11 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The load-harness smoke: a fixed-seed lb-bench run against an
+# in-process server (deterministic op sequence, hot-key contention,
+# branch fan-out) asserting a well-formed report, zero 5xx, non-zero
+# per-endpoint percentiles, and optimistic conflict/retry evidence —
+# race-detector on. See docs/bench.md.
+bench-smoke:
+	$(GO) test -race -run 'TestBenchSmoke|TestGenOpsDeterministic' -count=1 ./internal/bench/

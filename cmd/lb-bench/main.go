@@ -1,0 +1,85 @@
+// Command lb-bench is a deterministic load generator for lb-serve: a
+// seeded PRNG expands the flags into a fixed operation sequence
+// (read/write mix, hot-key skew, branch fan-out), so two runs with the
+// same seed replay the identical workload. It drives a live server in
+// closed-loop (-c workers) or open-loop (-rate ops/sec) mode and prints
+// a JSON report — exact per-endpoint latency percentiles, throughput,
+// queue-depth samples, and conflict/retry/5xx counts — to stdout, and
+// to -out when given. See docs/bench.md.
+//
+// Usage:
+//
+//	lb-bench [-url http://127.0.0.1:8080] [-seed 1] [-mode closed|open]
+//	         [-c 8] [-rate 200] [-ops 1000] [-duration 0]
+//	         [-read-frac 0.5] [-keys 64] [-hot-frac 0.5] [-branches 1]
+//	         [-queue-sample 100ms] [-setup] [-out report.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"logicblox/internal/bench"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "lb-serve base URL")
+	seed := flag.Uint64("seed", 1, "PRNG seed; same seed, same workload")
+	mode := flag.String("mode", bench.ModeClosed, "closed (fixed workers) or open (fixed arrival rate)")
+	concurrency := flag.Int("c", 8, "closed-loop worker count")
+	rate := flag.Float64("rate", 200, "open-loop arrival rate, ops/sec")
+	ops := flag.Int("ops", 1000, "total operations")
+	duration := flag.Duration("duration", 0, "stop early after this long (0 = run all ops)")
+	readFrac := flag.Float64("read-frac", 0.5, "fraction of ops that are queries")
+	keys := flag.Int("keys", 64, "key-space size")
+	hotFrac := flag.Float64("hot-frac", 0.5, "probability an op targets the hot key subset")
+	branches := flag.Int("branches", 1, "fan ops out across this many branches")
+	queueSample := flag.Duration("queue-sample", 100*time.Millisecond, "queue-depth polling period (0 disables)")
+	setup := flag.Bool("setup", true, "install the bench schema and branches before running")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	flag.Parse()
+
+	r := &bench.Runner{Config: bench.Config{
+		BaseURL:     *url,
+		Seed:        *seed,
+		Mode:        *mode,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Ops:         *ops,
+		Duration:    *duration,
+		ReadFrac:    *readFrac,
+		Keys:        *keys,
+		HotFrac:     *hotFrac,
+		Branches:    *branches,
+		QueueSample: *queueSample,
+	}}
+
+	if *setup {
+		if err := r.Setup(); err != nil {
+			log.Fatalf("lb-bench: setup: %v", err)
+		}
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		log.Fatalf("lb-bench: %v", err)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("lb-bench: %v", err)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatalf("lb-bench: write %s: %v", *out, err)
+		}
+	}
+	if rep.Errors5xx > 0 {
+		os.Exit(1)
+	}
+}

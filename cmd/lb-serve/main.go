@@ -7,10 +7,19 @@
 //
 //	lb-serve [-addr :8080] [-workers N] [-queue N] [-timeout 30s]
 //	         [-retries 3] [-adaptive-opt]
+//	         [-access-log stderr|stdout|file] [-slow-query 500ms]
+//	         [-trace-sample N] [-debug-addr :6060]
 //	         [-data-dir dir [-fsync always|interval] [-fsync-interval 50ms]
 //	          [-checkpoint-every 256] [-checkpoint-interval 30s]
 //	          [-generations 3]]
 //	         [-snapshot file]
+//
+// Observability: -access-log writes one JSON line per request (slog);
+// -slow-query additionally logs any slower request with its full span
+// tree and cached-plan fingerprints; -trace-sample keeps 1 in N root
+// spans in the registry's trace ring; -debug-addr serves net/http/pprof
+// on a separate, private mux so profiling endpoints never share the
+// public listener (see docs/server.md and docs/observability.md).
 //
 // With -data-dir, the server runs durably: at startup it recovers the
 // database from the newest valid snapshot generation plus a replay of
@@ -29,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +67,10 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "checkpoint at least this often while commits are pending (<0 disables)")
 	generations := flag.Int("generations", 3, "rotated snapshot generations to keep in -data-dir")
 	grace := flag.Duration("grace", 15*time.Second, "max time to drain in-flight requests on shutdown")
+	accessLog := flag.String("access-log", "", "JSON access-log destination: stderr, stdout, or a file path (empty disables)")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log requests slower than this with their span tree (needs -access-log; <=0 disables)")
+	traceSample := flag.Int("trace-sample", 1, "keep 1 in N finished root spans in the trace ring (1 = every request)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
 
 	if *dataDir != "" && *snapshot != "" {
@@ -63,11 +78,19 @@ func main() {
 	}
 
 	reg := logicblox.NewObsRegistry()
+	reg.SetTraceSampling(*traceSample)
 	logicblox.EnableStorageStats(true)
+
+	logger, logClose, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatalf("lb-serve: %v", err)
+	}
+	if logClose != nil {
+		defer logClose()
+	}
 
 	var db *core.Database
 	var store *durable.Store
-	var err error
 	if *dataDir != "" {
 		store, db, err = openDurable(*dataDir, durable.Options{
 			Fsync:              *fsync,
@@ -91,7 +114,13 @@ func main() {
 		MaxRetries: *retries,
 		Obs:        reg,
 		Durable:    store,
+		AccessLog:  logger,
+		SlowQuery:  *slowQuery,
 	})
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	go func() {
@@ -130,6 +159,44 @@ func main() {
 			log.Fatalf("lb-serve: save snapshot: %v", err)
 		}
 		log.Printf("lb-serve: snapshot written to %s", *snapshot)
+	}
+}
+
+// openAccessLog builds the JSON slog logger for -access-log. The
+// returned close function (nil unless a file was opened) flushes the log
+// file on shutdown.
+func openAccessLog(dest string) (*slog.Logger, func(), error) {
+	var w *os.File
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "stderr":
+		w = os.Stderr
+	case "stdout":
+		w = os.Stdout
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("access log %s: %w", dest, err)
+		}
+		return slog.New(slog.NewJSONHandler(f, nil)), func() { f.Close() }, nil
+	}
+	return slog.New(slog.NewJSONHandler(w, nil)), nil, nil
+}
+
+// serveDebug exposes net/http/pprof on its own mux and listener, so the
+// profiling endpoints are bound to a private address instead of riding
+// on the public API listener (and never on http.DefaultServeMux).
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("lb-serve: pprof on %s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("lb-serve: debug listener: %v", err)
 	}
 }
 

@@ -221,6 +221,24 @@ path(x, z) <- path(x, y), edge(y, z).
 	}
 }
 
+func TestReplStatsPercentiles(t *testing.T) {
+	out := runScriptObs(t, true, false, `
+:addblock s <<
+q(x) <- p(x).
+>>
++p(1). +p(2).
+?- _(x) <- q(x).
+:stats
+`)
+	// Histogram lines in the :stats counter dump carry estimated
+	// latency percentiles alongside count/mean/min/max.
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf(":stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestReplTraceTree(t *testing.T) {
 	out := runScriptObs(t, false, true, `
 :addblock s <<

@@ -1,0 +1,531 @@
+// Package bench is a deterministic load generator for lb-serve. A
+// seeded PRNG expands a Config into a fixed operation sequence
+// (read/write mix, key skew, branch fan-out), so two runs with the same
+// seed replay byte-identical workloads; the runner drives them against a
+// live server in closed-loop (fixed concurrency) or open-loop (fixed
+// arrival rate) mode and reports exact per-endpoint latency percentiles,
+// throughput, queue-depth samples, and conflict/retry/5xx counts.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Closed-loop and open-loop operating modes.
+const (
+	ModeClosed = "closed"
+	ModeOpen   = "open"
+)
+
+// Config describes one benchmark run. Every field that shapes the
+// operation sequence feeds the seeded PRNG, so the sequence is a pure
+// function of the config.
+type Config struct {
+	// BaseURL is the lb-serve root, e.g. http://127.0.0.1:8080.
+	BaseURL string `json:"base_url"`
+	// Seed drives all randomness; same seed, same workload.
+	Seed uint64 `json:"seed"`
+	// Mode is "closed" (Concurrency workers, next op as soon as the
+	// previous answer lands) or "open" (ops fired on a fixed schedule
+	// regardless of completions).
+	Mode string `json:"mode"`
+	// Concurrency is the closed-loop worker count.
+	Concurrency int `json:"concurrency"`
+	// Rate is the open-loop arrival rate in ops/second (exponential
+	// inter-arrivals drawn from the seed).
+	Rate float64 `json:"rate,omitempty"`
+	// Ops is the total operation count.
+	Ops int `json:"ops"`
+	// Duration, when > 0, stops the run early at the deadline even if
+	// ops remain.
+	Duration time.Duration `json:"duration,omitempty"`
+	// ReadFrac is the fraction of operations that are queries (the rest
+	// are exec writes).
+	ReadFrac float64 `json:"read_frac"`
+	// Keys is the key-space size.
+	Keys int `json:"keys"`
+	// HotFrac is the probability an operation targets the hot subset
+	// (the first 1/8 of the key space, at least one key) — key-overlap
+	// skew that manufactures write contention.
+	HotFrac float64 `json:"hot_frac"`
+	// Branches fans operations out across this many branches: "main"
+	// plus bench-1..bench-(n-1) created at setup.
+	Branches int `json:"branches"`
+	// QueueSample is the /debug/vars queue-depth polling period
+	// (0 disables sampling).
+	QueueSample time.Duration `json:"queue_sample,omitempty"`
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Mode == "" {
+		cfg.Mode = ModeClosed
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 64
+	}
+	if cfg.ReadFrac < 0 || cfg.ReadFrac > 1 {
+		cfg.ReadFrac = 0.5
+	}
+	if cfg.HotFrac < 0 || cfg.HotFrac > 1 {
+		cfg.HotFrac = 0
+	}
+	if cfg.Branches <= 0 {
+		cfg.Branches = 1
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 100
+	}
+	return cfg
+}
+
+// Op is one generated operation.
+type Op struct {
+	// Kind is "exec" (write) or "query" (read).
+	Kind string `json:"kind"`
+	// Key is the targeted key.
+	Key int `json:"key"`
+	// Value is the written value (unique per op, so every write is a
+	// real change rather than a duplicate-insert no-op).
+	Value int `json:"value,omitempty"`
+	// Branch the op runs against.
+	Branch string `json:"branch"`
+	// Arrival is the open-loop offset from the run start.
+	Arrival time.Duration `json:"arrival,omitempty"`
+}
+
+// branchName returns the branch for fan-out index i (0 is main).
+func branchName(i int) string {
+	if i == 0 {
+		return "main"
+	}
+	return fmt.Sprintf("bench-%d", i)
+}
+
+// GenOps expands the config into its operation sequence. The result is a
+// pure function of the config: calling it twice — or on two machines —
+// yields identical slices, which is what makes a bench run replayable.
+func GenOps(c Config) []Op {
+	cfg := c.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	hot := cfg.Keys / 8
+	if hot < 1 {
+		hot = 1
+	}
+	ops := make([]Op, cfg.Ops)
+	var at time.Duration
+	for i := range ops {
+		op := Op{Branch: branchName(rng.IntN(cfg.Branches))}
+		if rng.Float64() < cfg.ReadFrac {
+			op.Kind = "query"
+		} else {
+			op.Kind = "exec"
+			op.Value = i + 1
+		}
+		if rng.Float64() < cfg.HotFrac {
+			op.Key = rng.IntN(hot)
+		} else {
+			op.Key = rng.IntN(cfg.Keys)
+		}
+		// Exponential inter-arrivals for the open-loop schedule; drawn
+		// unconditionally so closed- and open-loop runs of one seed
+		// share the same op sequence.
+		at += time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		op.Arrival = at
+		ops[i] = op
+	}
+	return ops
+}
+
+// Schema installed by Setup: a base fact predicate written by exec ops,
+// plus derived rules — including a key-pair join whose rederivation cost
+// grows with the data — so every write does real engine work and the
+// optimistic-commit window is wide enough for writers to actually race.
+// Queries read the base relation per key.
+const schemaBlock = `
+hit(k, v) -> int(k), int(v).
+seen(k) <- hit(k, v).
+link(j, k) <- hit(j, v), hit(k, w), v < w.
+`
+
+func (op Op) request() (path string, body map[string]any) {
+	body = map[string]any{"branch": op.Branch}
+	if op.Kind == "query" {
+		body["src"] = fmt.Sprintf("_(v) <- hit(%d, v).", op.Key)
+		return "/query", body
+	}
+	body["src"] = fmt.Sprintf("+hit(%d, %d).", op.Key, op.Value)
+	return "/exec", body
+}
+
+// sample is one completed operation.
+type sample struct {
+	endpoint string
+	latency  time.Duration
+	status   int
+	retries  int
+}
+
+// EndpointStats is the per-endpoint latency/throughput summary. All
+// percentiles are exact (computed from the full recorded latency set),
+// in milliseconds.
+type EndpointStats struct {
+	Count      int     `json:"count"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// Report is the JSON benchmark result.
+type Report struct {
+	Config     Config                   `json:"config"`
+	ElapsedMs  float64                  `json:"elapsed_ms"`
+	TotalOps   int                      `json:"total_ops"`
+	Throughput float64                  `json:"throughput_ops_per_sec"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	// Conflicts counts 409 answers: optimistic transactions that lost
+	// their commit race even after the server's internal retries.
+	Conflicts int `json:"conflicts"`
+	// Retries sums the server-side optimistic re-executions reported in
+	// successful exec answers.
+	Retries int `json:"retries"`
+	// Rejected counts 503 answers (pool saturation or drain).
+	Rejected int `json:"rejected"`
+	// Errors5xx counts all >= 500 answers.
+	Errors5xx int `json:"errors_5xx"`
+	// StatusCounts is the full per-status histogram.
+	StatusCounts map[int]int `json:"status_counts"`
+	// QueueDepth holds the polled server.queue.depth gauge samples.
+	QueueDepth    []int64 `json:"queue_depth,omitempty"`
+	QueueDepthMax int64   `json:"queue_depth_max"`
+}
+
+// Runner drives one benchmark run against a live server.
+type Runner struct {
+	Config Config
+	// Client defaults to a dedicated http.Client with generous
+	// connection reuse; tests inject the httptest client.
+	Client *http.Client
+}
+
+func (r *Runner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: tr, Timeout: 60 * time.Second}
+}
+
+func (r *Runner) post(c *http.Client, base, path string, body any, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode < 300 {
+			return resp.StatusCode, err
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
+
+// Setup installs the benchmark schema on main and creates the fan-out
+// branches. It must run once against a fresh workspace before Run.
+func (r *Runner) Setup() error {
+	cfg := r.Config.withDefaults()
+	c := r.client()
+	status, err := r.post(c, cfg.BaseURL, "/addblock",
+		map[string]any{"name": "benchschema", "src": schemaBlock}, nil)
+	if err != nil {
+		return fmt.Errorf("addblock: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("addblock: status %d", status)
+	}
+	for i := 1; i < cfg.Branches; i++ {
+		status, err := r.post(c, cfg.BaseURL, "/branches",
+			map[string]any{"op": "create", "from": "main", "to": branchName(i)}, nil)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", branchName(i), err)
+		}
+		if status != http.StatusOK && status != http.StatusConflict {
+			return fmt.Errorf("create %s: status %d", branchName(i), status)
+		}
+	}
+	return nil
+}
+
+// execAnswer is the slice of ExecResponse the runner needs.
+type execAnswer struct {
+	Retries int `json:"retries"`
+}
+
+// runOp performs one operation and returns its sample.
+func (r *Runner) runOp(c *http.Client, base string, op Op) sample {
+	path, body := op.request()
+	t0 := time.Now()
+	var ans execAnswer
+	status, err := r.post(c, base, path, body, &ans)
+	lat := time.Since(t0)
+	if err != nil && status == 0 {
+		// Transport-level failure: count as a 5xx-equivalent.
+		status = 599
+	}
+	return sample{endpoint: path[1:], latency: lat, status: status, retries: ans.Retries}
+}
+
+// Run executes the generated operation sequence and builds the report.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	cfg := r.Config.withDefaults()
+	ops := GenOps(cfg)
+	c := r.client()
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	// Queue-depth sampler, polling /debug/vars on its own goroutine.
+	var (
+		depthMu sync.Mutex
+		depths  []int64
+	)
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	var samplerDone chan struct{}
+	if cfg.QueueSample > 0 {
+		samplerDone = make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(cfg.QueueSample)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampleCtx.Done():
+					return
+				case <-tick.C:
+					if d, ok := queueDepth(c, cfg.BaseURL); ok {
+						depthMu.Lock()
+						depths = append(depths, d)
+						depthMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	samples := make([]sample, len(ops))
+	var done int64
+	t0 := time.Now()
+	switch cfg.Mode {
+	case ModeOpen:
+		done = r.runOpen(ctx, c, cfg, ops, samples)
+	default:
+		done = r.runClosed(ctx, c, cfg, ops, samples)
+	}
+	elapsed := time.Since(t0)
+	stopSampling()
+	if samplerDone != nil {
+		<-samplerDone
+	}
+
+	depthMu.Lock()
+	defer depthMu.Unlock()
+	return buildReport(cfg, elapsed, samples[:done], depths), nil
+}
+
+// runClosed drives the op sequence with a fixed worker pool: each worker
+// takes the next op as soon as its previous answer lands. Returns the
+// number of completed ops (the deadline can cut the sequence short).
+func (r *Runner) runClosed(ctx context.Context, c *http.Client, cfg Config, ops []Op, samples []sample) int64 {
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range ops {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	var done int64
+	var mu sync.Mutex
+	completed := make([]bool, len(ops))
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := r.runOp(c, cfg.BaseURL, ops[i])
+				mu.Lock()
+				samples[i] = s
+				completed[i] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// Compact: keep completed samples contiguous for the report.
+	for i, ok := range completed {
+		if ok {
+			samples[done] = samples[i]
+			done++
+		}
+	}
+	return done
+}
+
+// runOpen fires ops on their precomputed arrival schedule regardless of
+// completions — the workload a server sees from independent clients.
+func (r *Runner) runOpen(ctx context.Context, c *http.Client, cfg Config, ops []Op, samples []sample) int64 {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completed := make([]bool, len(ops))
+	t0 := time.Now()
+	var done int64
+launch:
+	for i := range ops {
+		wait := ops[i].Arrival - time.Since(t0)
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break launch
+			}
+		} else if ctx.Err() != nil {
+			break launch
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := r.runOp(c, cfg.BaseURL, ops[i])
+			mu.Lock()
+			samples[i] = s
+			completed[i] = true
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for i, ok := range completed {
+		if ok {
+			samples[done] = samples[i]
+			done++
+		}
+	}
+	return done
+}
+
+// queueDepth reads the server.queue.depth gauge from /debug/vars.
+func queueDepth(c *http.Client, base string) (int64, bool) {
+	resp, err := c.Get(base + "/debug/vars")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Gauges map[string]int64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, false
+	}
+	d, ok := doc.Gauges["server.queue.depth"]
+	return d, ok
+}
+
+// percentile returns the exact q-quantile of sorted (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths []int64) *Report {
+	rep := &Report{
+		Config:       cfg,
+		ElapsedMs:    ms(elapsed),
+		TotalOps:     len(samples),
+		Endpoints:    make(map[string]EndpointStats),
+		StatusCounts: make(map[int]int),
+		QueueDepth:   depths,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(samples)) / elapsed.Seconds()
+	}
+	byEndpoint := make(map[string][]time.Duration)
+	for _, s := range samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
+		rep.StatusCounts[s.status]++
+		rep.Retries += s.retries
+		switch {
+		case s.status == http.StatusConflict:
+			rep.Conflicts++
+		case s.status == http.StatusServiceUnavailable:
+			rep.Rejected++
+		}
+		if s.status >= 500 {
+			rep.Errors5xx++
+		}
+	}
+	for ep, lats := range byEndpoint {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		st := EndpointStats{
+			Count:  len(lats),
+			MeanMs: ms(sum / time.Duration(len(lats))),
+			P50Ms:  ms(percentile(lats, 0.50)),
+			P95Ms:  ms(percentile(lats, 0.95)),
+			P99Ms:  ms(percentile(lats, 0.99)),
+			MaxMs:  ms(lats[len(lats)-1]),
+		}
+		if elapsed > 0 {
+			st.Throughput = float64(len(lats)) / elapsed.Seconds()
+		}
+		rep.Endpoints[ep] = st
+	}
+	for _, d := range depths {
+		if d > rep.QueueDepthMax {
+			rep.QueueDepthMax = d
+		}
+	}
+	return rep
+}

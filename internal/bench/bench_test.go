@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"logicblox/internal/core"
+	"logicblox/internal/obs"
+	"logicblox/internal/server"
+)
+
+// TestGenOpsDeterministic: the op sequence is a pure function of the
+// config — same seed replays the same workload, a different seed does
+// not.
+func TestGenOpsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Ops: 500, Keys: 32, ReadFrac: 0.5, HotFrac: 0.8, Branches: 3, Rate: 200}
+	a, b := GenOps(cfg), GenOps(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different op sequences")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	if reflect.DeepEqual(a, GenOps(cfg2)) {
+		t.Fatal("different seeds produced identical op sequences")
+	}
+
+	// The sequence respects the configured shape: both op kinds, all
+	// branches, monotone arrival schedule, keys in range.
+	kinds, branches := map[string]int{}, map[string]int{}
+	var prev time.Duration
+	for _, op := range a {
+		kinds[op.Kind]++
+		branches[op.Branch]++
+		if op.Arrival < prev {
+			t.Fatalf("arrival schedule not monotone: %v after %v", op.Arrival, prev)
+		}
+		prev = op.Arrival
+		if op.Key < 0 || op.Key >= cfg.Keys {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+	}
+	if kinds["exec"] == 0 || kinds["query"] == 0 {
+		t.Fatalf("op mix missing a kind: %v", kinds)
+	}
+	for _, b := range []string{"main", "bench-1", "bench-2"} {
+		if branches[b] == 0 {
+			t.Fatalf("branch fan-out missing %s: %v", b, branches)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	} {
+		if got := percentile(lats, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v", got)
+	}
+}
+
+// TestBenchSmoke runs a small seeded closed-loop benchmark against an
+// in-process server (this test backs `make bench-smoke`): the report
+// must be well-formed, with zero 5xx answers, non-zero latency
+// percentiles for both endpoints, and contention evidence (server-side
+// optimistic retries and/or client-visible 409 conflicts) from the
+// hot-key write skew.
+func TestBenchSmoke(t *testing.T) {
+	// On a single-CPU box GOMAXPROCS(1) serializes the sub-millisecond
+	// transactions so writers never race; give the scheduler parallel Ps
+	// so optimistic commits genuinely interleave.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	reg := obs.NewRegistry()
+	s := server.New(core.NewDatabase(), server.Config{Workers: 4, MaxRetries: 1, Obs: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	r := &Runner{
+		Config: Config{
+			BaseURL:     ts.URL,
+			Seed:        42,
+			Mode:        ModeClosed,
+			Concurrency: 6,
+			Ops:         300,
+			Keys:        8,
+			ReadFrac:    0.4,
+			HotFrac:     0.9,
+			Branches:    2,
+			QueueSample: time.Millisecond,
+		},
+		Client: ts.Client(),
+	}
+	if err := r.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.TotalOps != 300 {
+		t.Fatalf("TotalOps = %d, want 300", rep.TotalOps)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("Errors5xx = %d, statuses %v", rep.Errors5xx, rep.StatusCounts)
+	}
+	if rep.Throughput <= 0 || rep.ElapsedMs <= 0 {
+		t.Fatalf("throughput/elapsed not positive: %+v", rep)
+	}
+	for _, ep := range []string{"exec", "query"} {
+		st, ok := rep.Endpoints[ep]
+		if !ok || st.Count == 0 {
+			t.Fatalf("no %s samples: %v", ep, rep.Endpoints)
+		}
+		if st.P50Ms <= 0 || st.P95Ms <= 0 || st.P99Ms <= 0 {
+			t.Fatalf("%s percentiles not positive: %+v", ep, st)
+		}
+		if st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms || st.P99Ms > st.MaxMs {
+			t.Fatalf("%s percentiles not monotone: %+v", ep, st)
+		}
+	}
+	// Six workers hammering eight keys (90% in the hot set) on two
+	// branches with MaxRetries 1 must collide: some execs re-run
+	// optimistically, some surface 409 after exhausting retries.
+	if rep.Conflicts+rep.Retries == 0 {
+		t.Fatalf("no contention evidence: %+v", rep)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"logicblox/internal/obs"
@@ -27,17 +28,26 @@ func (ws *Workspace) Observer() *obs.Registry {
 	return obs.Default()
 }
 
-// txSpan opens a transaction-level root span and returns it along with
-// a completion func that records the outcome (tx.<kind>.commit or
+// txSpan opens a transaction-level span and returns it along with a
+// completion func that records the outcome (tx.<kind>.commit or
 // tx.<kind>.abort), samples tx.<kind>.duration, and — when storage
-// stats are enabled — refreshes the treap work gauges. Both returns are
-// valid no-ops when no observer is attached.
-func (ws *Workspace) txSpan(kind string) (*obs.Span, func(error)) {
+// stats are enabled — refreshes the treap work gauges. When rctx carries
+// a request span (obs.ContextWithSpan, installed by the server's
+// middleware), the transaction span is parented under it so the whole
+// engine trace hangs off the per-request root; otherwise it opens a
+// registry root span as before. Both returns are valid no-ops when no
+// observer is attached.
+func (ws *Workspace) txSpan(rctx context.Context, kind string) (*obs.Span, func(error)) {
 	reg := ws.Observer()
 	if reg == nil {
 		return nil, func(error) {}
 	}
-	sp := reg.StartSpan("tx." + kind)
+	var sp *obs.Span
+	if parent := obs.SpanFromContext(rctx); parent != nil {
+		sp = parent.Child("tx." + kind)
+	} else {
+		sp = reg.StartSpan("tx." + kind)
+	}
 	t0 := time.Now()
 	return sp, func(err error) {
 		outcome := ".commit"

@@ -52,7 +52,7 @@ func (ws *Workspace) RemoveBlock(name string) (*Workspace, error) {
 // reinstall recompiles the workspace logic after a block change and
 // re-materializes exactly the dirty predicates.
 func (ws *Workspace) reinstall(rctx context.Context, name, src string, parsed *ast.Program, newParsed map[string]*ast.Program) (*Workspace, error) {
-	sp, done := ws.txSpan("addblock")
+	sp, done := ws.txSpan(rctx, "addblock")
 	out, err := ws.reinstallTraced(rctx, name, src, parsed, newParsed, sp)
 	done(err)
 	return out, err
@@ -159,7 +159,7 @@ func (ws *Workspace) Exec(src string) (*ExecResult, error) {
 // or fixpoint-round boundary, and the transaction aborts with ctx.Err()
 // wrapped (the receiver workspace is untouched, as for any abort).
 func (ws *Workspace) ExecCtx(rctx context.Context, src string) (*ExecResult, error) {
-	sp, done := ws.txSpan("exec")
+	sp, done := ws.txSpan(rctx, "exec")
 	res, err := ws.exec(rctx, src, sp)
 	done(err)
 	return res, err
@@ -313,7 +313,7 @@ func (ws *Workspace) Delete(pred string, tuples ...tuple.Tuple) (*Workspace, err
 }
 
 func (ws *Workspace) applyDirect(pred string, ins, del []tuple.Tuple) (*Workspace, error) {
-	sp, done := ws.txSpan("exec")
+	sp, done := ws.txSpan(context.Background(), "exec")
 	sp.SetAttr("base_ins", int64(len(ins)))
 	sp.SetAttr("base_del", int64(len(del)))
 	out, err := ws.applyDirectTraced(pred, ins, del, sp)

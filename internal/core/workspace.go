@@ -368,7 +368,7 @@ func (ws *Workspace) Query(src string) ([]tuple.Tuple, error) {
 // expiry stops the evaluation at the next rule or fixpoint-round
 // boundary and the transaction returns ctx.Err() wrapped.
 func (ws *Workspace) QueryCtx(rctx context.Context, src string) ([]tuple.Tuple, error) {
-	sp, done := ws.txSpan("query")
+	sp, done := ws.txSpan(rctx, "query")
 	out, err := ws.query(rctx, src, sp)
 	done(err)
 	return out, err

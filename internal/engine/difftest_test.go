@@ -380,7 +380,16 @@ func TestDifferentialAllOrders(t *testing.T) {
 // the domain.
 func randomDeltas(rng *rand.Rand, p *genProgram, cur map[string]relation.Relation) map[string]ivm.Delta {
 	out := map[string]ivm.Delta{}
-	for name, rel := range cur {
+	// Iterate predicates in sorted order: ranging over the map directly
+	// would consume the seeded PRNG in Go's randomized map order, making
+	// the "deterministic" batches differ run to run.
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rel := cur[name]
 		if rng.Intn(2) == 0 {
 			continue
 		}

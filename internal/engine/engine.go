@@ -454,7 +454,7 @@ func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.
 		if ap.Perm != nil {
 			rel = c.permuted(ap.Name, rel, ap.Perm)
 		}
-		atoms = append(atoms, lftj.Atom{Pred: ap.Name, Iter: rel.Iterator(), Vars: ap.Vars})
+		atoms = append(atoms, lftj.Atom{Pred: ap.Name, Iter: rel.Iterator(), Vars: ap.Vars, Cols: ap.Perm})
 	}
 	for _, cb := range r.Consts {
 		atoms = append(atoms, lftj.Atom{

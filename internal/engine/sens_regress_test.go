@@ -1,0 +1,55 @@
+package engine_test
+
+import (
+	"testing"
+
+	"logicblox/internal/ivm"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// TestSensitivityPermutedIndexRegression is the distilled failing input
+// the differential harness found once its delta generator was made
+// deterministic (generate(34)): rule d1 joins p1 twice under a variable
+// order that forces one p1 atom through a permuted secondary index.
+// Sensitivity intervals for that atom were recorded with prefixes in
+// plan-column order but probed with stored-order tuples, so deleting p1
+// facts was reported as unaffected and sensitivity-mode IVM kept stale d1
+// tuples alive (batch 2 used to diverge from the reference by two
+// resurrected tuples). The fix maps intervals back to stored columns via
+// lftj.Atom.Cols / Interval.Cols.
+func TestSensitivityPermutedIndexRegression(t *testing.T) {
+	p := generate(34)
+	prog := compileGen(t, p)
+	for _, mode := range []ivm.Mode{ivm.Recompute, ivm.Sensitivity} {
+		m, err := ivm.NewMaintainer(prog, p.base, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := map[string]relation.Relation{}
+		for name, rel := range p.base {
+			cur[name] = rel
+		}
+		batches := []map[string]ivm.Delta{
+			{"p0": {Ins: []tuple.Tuple{{tuple.Int(1)}}, Del: []tuple.Tuple{{tuple.Int(2)}}},
+				"p2": {Ins: []tuple.Tuple{{tuple.Int(0)}}, Del: []tuple.Tuple{{tuple.Int(4)}}}},
+			{"p2": {Ins: []tuple.Tuple{{tuple.Int(2)}, {tuple.Int(0)}, {tuple.Int(3)}}, Del: []tuple.Tuple{{tuple.Int(3)}}}},
+			{"p1": {Ins: []tuple.Tuple{{tuple.Int(2), tuple.Int(3)}}, Del: []tuple.Tuple{{tuple.Int(6), tuple.Int(5)}, {tuple.Int(3), tuple.Int(4)}}},
+				"p2": {Ins: []tuple.Tuple{{tuple.Int(4)}}, Del: []tuple.Tuple{{tuple.Int(3)}}}},
+		}
+		for bi, d := range batches {
+			if _, err := m.Apply(d); err != nil {
+				t.Fatalf("%v batch %d: %v", mode, bi, err)
+			}
+			cur = applyToBase(cur, d)
+			want := refEval(p, cur)
+			for _, dn := range p.derived {
+				got := m.Relation(dn)
+				if !got.Equal(want[dn]) {
+					t.Errorf("mode %v batch %d: %s diverged: maintained %v reference %v",
+						mode, bi, dn, sortedSlice(got), sortedSlice(want[dn]))
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,11 @@ type Atom struct {
 	Pred string // predicate identity, used for sensitivity recording
 	Iter trie.Iterator
 	Vars []int
+	// Cols, when non-nil, maps trie depths to the predicate's stored
+	// columns: depth d of Iter reads stored column Cols[d]. Set for atoms
+	// joined through a permuted secondary index so sensitivity intervals
+	// can be translated back to stored column order; nil means identity.
+	Cols []int
 }
 
 // Join is a leapfrog triejoin over a set of atoms under a fixed variable
@@ -48,6 +53,9 @@ func NewJoin(numVars int, atoms []Atom, idx *SensitivityIndex) (*Join, error) {
 	for ai, a := range atoms {
 		if len(a.Vars) != a.Iter.Arity() {
 			return nil, fmt.Errorf("lftj: atom %s has %d vars for arity %d", a.Pred, len(a.Vars), a.Iter.Arity())
+		}
+		if a.Cols != nil && len(a.Cols) != len(a.Vars) {
+			return nil, fmt.Errorf("lftj: atom %s has %d cols for %d vars", a.Pred, len(a.Cols), len(a.Vars))
 		}
 		for d, v := range a.Vars {
 			if v < 0 || v >= numVars {

@@ -1,6 +1,7 @@
 package lftj
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -13,25 +14,50 @@ import (
 // (paper §3.2). Prefix fixes the keys of the trie levels above; [Lo, Hi]
 // bounds the keys at the interval's level. Lo = tuple.MinValue() encodes
 // −∞ and Hi = tuple.MaxValue() encodes +∞.
+//
+// Cols maps the interval's trie levels onto the predicate's stored
+// columns: Prefix[i] constrains t[Cols[i]] and [Lo, Hi] bounds
+// t[Cols[len(Prefix)]]. A nil Cols means the identity mapping — the run
+// read the predicate in its natural column order. Runs over a permuted
+// secondary index (paper §3.2) record non-nil Cols so that probes, which
+// always present tuples in stored order, still land in the right region.
 type Interval struct {
 	Prefix tuple.Tuple
 	Lo, Hi tuple.Value
+	Cols   []int
 }
 
-// Covers reports whether a change to tuple t (of the interval's predicate)
-// falls inside the interval: t extends Prefix and its next column lies in
-// [Lo, Hi].
+// Covers reports whether a change to tuple t (of the interval's
+// predicate, in stored column order) falls inside the interval: t
+// matches Prefix on the interval's columns and the interval-level column
+// lies in [Lo, Hi].
 func (iv Interval) Covers(t tuple.Tuple) bool {
 	d := len(iv.Prefix)
-	if d >= len(t) {
+	if iv.Cols == nil {
+		if d >= len(t) {
+			return false
+		}
+		for i := 0; i < d; i++ {
+			if !tuple.Equal(t[i], iv.Prefix[i]) {
+				return false
+			}
+		}
+		return tuple.Compare(iv.Lo, t[d]) <= 0 && tuple.Compare(t[d], iv.Hi) <= 0
+	}
+	if len(iv.Cols) != d+1 {
 		return false
 	}
 	for i := 0; i < d; i++ {
-		if !tuple.Equal(t[i], iv.Prefix[i]) {
+		c := iv.Cols[i]
+		if c >= len(t) || !tuple.Equal(t[c], iv.Prefix[i]) {
 			return false
 		}
 	}
-	return tuple.Compare(iv.Lo, t[d]) <= 0 && tuple.Compare(t[d], iv.Hi) <= 0
+	rc := iv.Cols[d]
+	if rc >= len(t) {
+		return false
+	}
+	return tuple.Compare(iv.Lo, t[rc]) <= 0 && tuple.Compare(t[rc], iv.Hi) <= 0
 }
 
 func (iv Interval) String() string {
@@ -67,15 +93,37 @@ func (iv Interval) String() string {
 // search instead of a scan.
 type SensitivityIndex struct {
 	byPred map[string][]Interval
-	lookup map[string]map[string]*bucket // pred → prefix string → bucket
+	lookup map[string]*predLookup
 	dirty  bool
 }
 
-// bucket holds the intervals sharing one (pred, prefix), sorted by Lo,
-// with maxHi[i] = max(Hi[0..i]) for O(log n) stabbing queries.
+// predLookup is one predicate's probe structure: identity-order
+// intervals bucketed by prefix, plus one bucket group per distinct
+// permuted column signature (secondary-index runs).
+type predLookup struct {
+	identity map[string]*bucket // prefix string → bucket (Cols == nil)
+	permuted []*permSig
+}
+
+// permSig groups the intervals recorded under one permuted column
+// sequence (prefix columns + interval-level column).
+type permSig struct {
+	cols     []int
+	byPrefix map[string]*bucket
+}
+
+// bucket holds the intervals sharing one (pred, cols, prefix), sorted by
+// Lo, with maxHi[i] = max(Hi[0..i]) for O(log n) stabbing queries.
 type bucket struct {
 	lo    []tuple.Value
 	maxHi []tuple.Value
+}
+
+// stab reports whether v falls in any of the bucket's intervals.
+func (b *bucket) stab(v tuple.Value) bool {
+	n := len(b.lo)
+	pos := sort.Search(n, func(i int) bool { return tuple.Compare(b.lo[i], v) > 0 }) - 1
+	return pos >= 0 && tuple.Compare(b.maxHi[pos], v) >= 0
 }
 
 // NewSensitivityIndex returns an empty index.
@@ -106,26 +154,50 @@ func (x *SensitivityIndex) AddPoint(pred string, t tuple.Tuple) {
 // any recorded interval.
 func (x *SensitivityIndex) Affected(pred string, t tuple.Tuple) bool {
 	x.rebuildLookup()
-	buckets, ok := x.lookup[pred]
+	pl, ok := x.lookup[pred]
 	if !ok {
 		return false
 	}
-	// An interval at depth d covers t when its prefix matches t[:d] and
-	// t[d] ∈ [Lo, Hi]; check every depth.
+	// An identity interval at depth d covers t when its prefix matches
+	// t[:d] and t[d] ∈ [Lo, Hi]; check every depth.
 	for d := 0; d < len(t); d++ {
-		b, ok := buckets[tuple.Tuple(t[:d]).String()]
-		if !ok {
+		if b, ok := pl.identity[tuple.Tuple(t[:d]).String()]; ok && b.stab(t[d]) {
+			return true
+		}
+	}
+	// Permuted intervals probe the columns their run actually read.
+	for _, sig := range pl.permuted {
+		d := len(sig.cols) - 1
+		rc := sig.cols[d]
+		if rc >= len(t) {
 			continue
 		}
-		v := t[d]
-		// Largest i with lo[i] <= v.
-		n := len(b.lo)
-		pos := sort.Search(n, func(i int) bool { return tuple.Compare(b.lo[i], v) > 0 }) - 1
-		if pos >= 0 && tuple.Compare(b.maxHi[pos], v) >= 0 {
+		prefix := make(tuple.Tuple, d)
+		valid := true
+		for i, c := range sig.cols[:d] {
+			if c >= len(t) {
+				valid = false
+				break
+			}
+			prefix[i] = t[c]
+		}
+		if !valid {
+			continue
+		}
+		if b, ok := sig.byPrefix[prefix.String()]; ok && b.stab(t[rc]) {
 			return true
 		}
 	}
 	return false
+}
+
+// colsKey renders a column sequence as a grouping key.
+func colsKey(cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&sb, "%d,", c)
+	}
+	return sb.String()
 }
 
 // rebuildLookup (re)derives the probe structure after mutations.
@@ -133,29 +205,53 @@ func (x *SensitivityIndex) rebuildLookup() {
 	if !x.dirty && x.lookup != nil {
 		return
 	}
-	x.lookup = make(map[string]map[string]*bucket, len(x.byPred))
+	x.lookup = make(map[string]*predLookup, len(x.byPred))
 	for pred, ivs := range x.byPred {
+		pl := &predLookup{identity: map[string]*bucket{}}
 		byPrefix := map[string][]Interval{}
+		bySig := map[string][]Interval{}
+		sigCols := map[string][]int{}
 		for _, iv := range ivs {
-			key := iv.Prefix.String()
-			byPrefix[key] = append(byPrefix[key], iv)
-		}
-		buckets := make(map[string]*bucket, len(byPrefix))
-		for key, group := range byPrefix {
-			sort.Slice(group, func(i, j int) bool { return tuple.Less(group[i].Lo, group[j].Lo) })
-			b := &bucket{lo: make([]tuple.Value, len(group)), maxHi: make([]tuple.Value, len(group))}
-			for i, iv := range group {
-				b.lo[i] = iv.Lo
-				b.maxHi[i] = iv.Hi
-				if i > 0 && tuple.Less(b.maxHi[i], b.maxHi[i-1]) {
-					b.maxHi[i] = b.maxHi[i-1]
-				}
+			if iv.Cols == nil {
+				key := iv.Prefix.String()
+				byPrefix[key] = append(byPrefix[key], iv)
+				continue
 			}
-			buckets[key] = b
+			key := colsKey(iv.Cols)
+			bySig[key] = append(bySig[key], iv)
+			sigCols[key] = iv.Cols
 		}
-		x.lookup[pred] = buckets
+		for key, group := range byPrefix {
+			pl.identity[key] = newBucket(group)
+		}
+		for key, group := range bySig {
+			sig := &permSig{cols: sigCols[key], byPrefix: map[string]*bucket{}}
+			grouped := map[string][]Interval{}
+			for _, iv := range group {
+				grouped[iv.Prefix.String()] = append(grouped[iv.Prefix.String()], iv)
+			}
+			for pk, g := range grouped {
+				sig.byPrefix[pk] = newBucket(g)
+			}
+			pl.permuted = append(pl.permuted, sig)
+		}
+		x.lookup[pred] = pl
 	}
 	x.dirty = false
+}
+
+// newBucket builds the stabbing structure over one interval group.
+func newBucket(group []Interval) *bucket {
+	sort.Slice(group, func(i, j int) bool { return tuple.Less(group[i].Lo, group[j].Lo) })
+	b := &bucket{lo: make([]tuple.Value, len(group)), maxHi: make([]tuple.Value, len(group))}
+	for i, iv := range group {
+		b.lo[i] = iv.Lo
+		b.maxHi[i] = iv.Hi
+		if i > 0 && tuple.Less(b.maxHi[i], b.maxHi[i-1]) {
+			b.maxHi[i] = b.maxHi[i-1]
+		}
+	}
+	return b
 }
 
 // AffectedAny reports whether any of the changes intersects the index.
@@ -260,7 +356,14 @@ func (r *recording) record(it trie.Iterator, lo, hi tuple.Value, openEnded bool)
 	if openEnded {
 		hi = tuple.MaxValue()
 	}
-	r.idx.byPred[a.Pred] = append(r.idx.byPred[a.Pred], Interval{Prefix: prefix, Lo: lo, Hi: hi})
+	// For an atom bound through a permuted secondary index, the prefix
+	// values above are in plan-column order; carry the stored-column
+	// mapping so probes (which see stored-order tuples) can still match.
+	var cols []int
+	if a.Cols != nil {
+		cols = append([]int(nil), a.Cols[:d+1]...)
+	}
+	r.idx.byPred[a.Pred] = append(r.idx.byPred[a.Pred], Interval{Prefix: prefix, Lo: lo, Hi: hi, Cols: cols})
 	r.idx.dirty = true
 	if r.j.m != nil {
 		r.j.m.SensRecords++

@@ -1,0 +1,97 @@
+package lftj
+
+import (
+	"testing"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// TestIntervalCoversPermuted pins the column-mapped Covers semantics: with
+// Cols = {1, 0} the prefix constrains stored column 1 and [Lo, Hi] bounds
+// stored column 0, regardless of the order the run read them in.
+func TestIntervalCoversPermuted(t *testing.T) {
+	iv := Interval{
+		Prefix: tuple.Ints(10),
+		Lo:     tuple.Int(1),
+		Hi:     tuple.Int(3),
+		Cols:   []int{1, 0},
+	}
+	cases := []struct {
+		t    tuple.Tuple
+		want bool
+	}{
+		{tuple.Ints(2, 10), true},  // col1 = 10 matches, col0 = 2 ∈ [1,3]
+		{tuple.Ints(1, 10), true},  // boundary
+		{tuple.Ints(5, 10), false}, // col0 outside range
+		{tuple.Ints(2, 11), false}, // prefix column mismatch
+		{tuple.Ints(2), false},     // too short for the mapping
+	}
+	for _, c := range cases {
+		if got := iv.Covers(c.t); got != c.want {
+			t.Errorf("Covers(%v) = %v, want %v (iv %v cols %v)", c.t, got, c.want, iv, iv.Cols)
+		}
+	}
+}
+
+// permJoin joins S(v) with R(k, v) through R's permuted index (v, k),
+// recording sensitivity into idx when non-nil, and returns the bindings.
+func permJoin(t *testing.T, s, r relation.Relation, idx *SensitivityIndex) []tuple.Tuple {
+	t.Helper()
+	perm := []int{1, 0} // plan column i reads stored column perm[i]
+	j, err := NewJoin(2, []Atom{
+		{Pred: "S", Iter: s.Iterator(), Vars: []int{0}},
+		{Pred: "R", Iter: r.Permuted(perm).Iterator(), Vars: []int{0, 1}, Cols: perm},
+	}, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j.Collect()
+}
+
+// TestAffectedPermutedAtomSound is the regression test for the
+// permuted-index sensitivity bug: intervals were recorded with prefixes in
+// plan-column order but probed with tuples in stored-column order, so
+// Affected returned false negatives and sensitivity-mode IVM skipped rules
+// whose inputs had in fact changed. The fix threads Atom.Cols into the
+// recorded intervals. Soundness is checked exhaustively: every stored
+// insertion that changes the join's output must be flagged as affected.
+func TestAffectedPermutedAtomSound(t *testing.T) {
+	s := unary(10, 30)
+	r := binary([2]int64{1, 10}, [2]int64{2, 20}, [2]int64{3, 30})
+
+	idx := NewSensitivityIndex()
+	base := permJoin(t, s, r, idx)
+	if len(base) != 2 {
+		t.Fatalf("base join = %v, want 2 bindings", base)
+	}
+	// The depth-1 scan under v=10 covers all k: a new pairing with v=10
+	// must be affected even though its k never appeared before.
+	if !idx.Affected("R", tuple.Ints(99, 10)) {
+		t.Fatalf("insert (99, 10) joins with S(10) but reported unaffected")
+	}
+
+	equal := func(a, b []tuple.Tuple) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for k := int64(0); k <= 5; k++ {
+		for v := int64(0); v <= 35; v += 5 {
+			ins := tuple.Ints(k, v)
+			if r.Contains(ins) {
+				continue
+			}
+			got := permJoin(t, s, r.Insert(ins), nil)
+			if !equal(got, base) && !idx.Affected("R", ins) {
+				t.Errorf("insert %v changes join output %v -> %v but Affected = false", ins, base, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// spanCtxKey keys the current span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the current span.
+// Layers below (core transactions, the engine) parent their spans under
+// it, so a server request's whole transaction tree hangs off one
+// per-request root. A nil span is fine: SpanFromContext will return nil
+// and callers fall back to opening a registry root span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil when
+// none is attached (the nil *Span is itself a valid no-op).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

@@ -103,8 +103,9 @@ func FormatCounters(s Snapshot) string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "%-32s count=%d mean=%s min=%s max=%s\n",
-			n, h.Count, fmtDur(h.Mean()), fmtDur(h.Min), fmtDur(h.Max))
+		fmt.Fprintf(&b, "%-32s count=%d mean=%s min=%s max=%s p50=%s p95=%s p99=%s\n",
+			n, h.Count, fmtDur(h.Mean()), fmtDur(h.Min), fmtDur(h.Max),
+			fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)))
 	}
 	return b.String()
 }

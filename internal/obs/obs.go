@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +127,52 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of the observed
+// durations from the power-of-two buckets, interpolating linearly inside
+// the bucket holding rank ⌈q·count⌉ and clamping to the exact min/max.
+// The estimate always falls inside the bucket containing the true
+// quantile, so its error is bounded by one power-of-two bucket boundary
+// (a factor of 2 at worst); see docs/observability.md.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	bounds := make([]int64, 0, len(s.Buckets))
+	for b := range s.Buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	var cum int64
+	for _, hi := range bounds {
+		n := s.Buckets[hi]
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		lo := hi / 2 // bucket i covers [2^(i-1), 2^i); bucket key 1 covers [0, 1)
+		frac := float64(rank-cum) / float64(n)
+		est := time.Duration(float64(lo) + frac*float64(hi-lo))
+		if est < s.Min {
+			est = s.Min
+		}
+		if est > s.Max {
+			est = s.Max
+		}
+		return est
+	}
+	return s.Max
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.count.Load(),
@@ -170,6 +218,20 @@ func (r *Registry) SetTraceSampling(n int) {
 	defer r.mu.Unlock()
 	r.sampleN = n
 	r.spanSeq = 0
+}
+
+// TraceSampling returns the current 1-in-N trace sampling rate (1 when
+// every root span is retained, including on a nil registry).
+func (r *Registry) TraceSampling() int {
+	if r == nil {
+		return 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sampleN <= 1 {
+		return 1
+	}
+	return r.sampleN
 }
 
 // NewRegistry returns an empty registry.

@@ -68,6 +68,25 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// Summary-style quantile gauges alongside each histogram: p50/p95/p99
+	// estimated from the power-of-two buckets (error bounded by one bucket
+	// boundary), under a distinct name so the histogram exposition above
+	// stays type-correct.
+	for _, n := range names {
+		h := s.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		pn := promName(n) + "_seconds_quantile"
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", pn, q, h.Quantile(q).Seconds()); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// bucketOf returns the power-of-two bucket index an observation lands in
+// (mirroring Histogram.Observe's clamping).
+func bucketOf(d time.Duration) int {
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1
+	}
+	b := 0
+	for v := ns; v > 0; v >>= 1 {
+		b++
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// TestQuantileWithinBucketBound pins the estimator's error to one
+// power-of-two bucket boundary: for every quantile, the estimate must lie
+// in the same bucket as the true (exact, sorted-sample) quantile — i.e.
+// off by less than a factor of two — and inside [Min, Max].
+func TestQuantileWithinBucketBound(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) time.Duration{
+		"uniform": func(r *rand.Rand) time.Duration {
+			return time.Duration(1 + r.Int63n(int64(50*time.Millisecond)))
+		},
+		"exponential": func(r *rand.Rand) time.Duration {
+			return time.Duration(r.ExpFloat64() * float64(2*time.Millisecond))
+		},
+		"bimodal": func(r *rand.Rand) time.Duration {
+			if r.Intn(10) == 0 {
+				return time.Duration(1+r.Int63n(100)) * time.Millisecond
+			}
+			return time.Duration(1+r.Int63n(1000)) * time.Microsecond
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			h := &Histogram{}
+			samples := make([]time.Duration, 0, 5000)
+			for i := 0; i < 5000; i++ {
+				d := gen(r)
+				if d < 1 {
+					d = 1
+				}
+				h.Observe(d)
+				samples = append(samples, d)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			snap := h.snapshot()
+			for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+				rank := int(math.Ceil(q * float64(len(samples))))
+				exact := samples[rank-1]
+				est := snap.Quantile(q)
+				if est < snap.Min || est > snap.Max {
+					t.Fatalf("q=%g: estimate %v outside [%v, %v]", q, est, snap.Min, snap.Max)
+				}
+				if bucketOf(est) != bucketOf(exact) {
+					t.Errorf("q=%g: estimate %v (bucket %d) not in exact quantile %v's bucket %d",
+						q, est, bucketOf(est), exact, bucketOf(exact))
+				}
+			}
+		})
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+
+	h := &Histogram{}
+	h.Observe(10 * time.Millisecond)
+	snap := h.snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := snap.Quantile(q); got != 10*time.Millisecond {
+			t.Fatalf("single-sample Quantile(%g) = %v, want 10ms", q, got)
+		}
+	}
+
+	// q outside [0,1] clamps to min/max.
+	h.Observe(20 * time.Millisecond)
+	snap = h.snapshot()
+	if got := snap.Quantile(-1); got != snap.Min {
+		t.Fatalf("Quantile(-1) = %v, want min %v", got, snap.Min)
+	}
+	if got := snap.Quantile(2); got != snap.Max {
+		t.Fatalf("Quantile(2) = %v, want max %v", got, snap.Max)
+	}
+}

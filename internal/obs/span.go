@@ -132,6 +132,18 @@ type SpanSnapshot struct {
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
 
+// Snapshot returns the structured value of the span's subtree. An
+// unfinished span reports its elapsed-so-far duration; finished children
+// are complete, so a request handler can snapshot its own (still open)
+// root span and see the full transaction tree below it. On a nil span it
+// returns a zero snapshot.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot()
+}
+
 func (s *Span) snapshot() SpanSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -276,6 +276,9 @@ func (s *PlanStore) Stats() StoreStats {
 
 // PlanSnapshot is the structured value of one cached plan.
 type PlanSnapshot struct {
+	// Fingerprint is the store key: the structural rule fingerprint the
+	// plan is cached under (stable across recompilations).
+	Fingerprint string `json:"fingerprint"`
 	Head        string `json:"head"`
 	Source      string `json:"source"`
 	Order       []int  `json:"order"`
@@ -303,6 +306,7 @@ func (s *PlanStore) Snapshot() []PlanSnapshot {
 	out := make([]PlanSnapshot, 0, len(s.entries))
 	for _, e := range s.entries {
 		out = append(out, PlanSnapshot{
+			Fingerprint: e.fingerprint,
 			Head:        e.head,
 			Source:      e.source,
 			Order:       append([]int(nil), e.order...),

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"logicblox/internal/core"
+)
+
+// TestGracefulDrainCompletesInflight (run under -race via make
+// serve-test): a request already inside a handler when the drain begins
+// runs to completion with a 200, a request arriving after the drain
+// began is rejected 503 + Retry-After without entering the pool, and the
+// access log records both with their request IDs.
+func TestGracefulDrainCompletesInflight(t *testing.T) {
+	buf := &syncBuffer{}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	s := New(core.NewDatabase(), Config{AccessLog: newLogger(buf)})
+	// A handler that parks inside the pool until released, standing in
+	// for a long transaction mid-flight at drain time.
+	slowH := s.endpoint("slow", http.MethodPost, true, func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/slow", slowH)
+	mux.Handle("/exec", s.endpoint("exec", http.MethodPost, true, s.handleExec))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", ts.URL+"/slow", nil)
+		req.Header.Set("X-Request-ID", "drain-inflight")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		resp.Body.Close()
+		inflight <- result{resp.StatusCode, nil}
+	}()
+
+	<-entered // the slow request is inside the handler
+	s.BeginDrain()
+
+	// New work is turned away immediately with 503 + Retry-After.
+	req, _ := http.NewRequest("POST", ts.URL+"/exec", nil)
+	req.Header.Set("X-Request-ID", "drain-rejected")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("post-drain request: status %d, Retry-After %q",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// The in-flight request still completes normally.
+	close(release)
+	select {
+	case got := <-inflight:
+		if got.err != nil || got.status != http.StatusOK {
+			t.Fatalf("in-flight request after drain: %+v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request did not complete")
+	}
+
+	// Both requests appear in the access log: the completed one with 200,
+	// the rejected one with 503.
+	want := map[string]float64{"drain-inflight": 200, "drain-rejected": 503}
+	for _, line := range buf.logLines(t) {
+		if line["msg"] != "request" {
+			continue
+		}
+		id, _ := line["request_id"].(string)
+		if status, ok := want[id]; ok {
+			if line["status"] != status {
+				t.Fatalf("access log for %s: status %v, want %v", id, line["status"], status)
+			}
+			delete(want, id)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing access log lines for %v in:\n%s", want, buf.String())
+	}
+	if got := s.reg.Snapshot().Counters["server.drained_rejects"]; got != 1 {
+		t.Fatalf("server.drained_rejects = %d", got)
+	}
+}

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
 
 	"logicblox/internal/core"
+	"logicblox/internal/obs"
 )
 
 // errBusy rejects a request when the worker pool and its wait queue are
@@ -52,13 +54,13 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	json.NewEncoder(w).Encode(body)
 }
 
-func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+func writeErrorCode(w http.ResponseWriter, status int, code, msg, requestID string) {
 	if status == http.StatusServiceUnavailable {
 		// Jittered so a fleet of rejected clients does not retry in
 		// lockstep and re-saturate the pool on the same tick.
 		w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(3)))
 	}
-	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code, RequestID: requestID})
 }
 
 // backoffConflict sleeps before optimistic re-execution attempt n
@@ -79,10 +81,13 @@ func backoffConflict(ctx context.Context, attempt int) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// writeError maps err onto the wire error envelope, stamping the
+// request's ID so a failure is correlatable with its access-log line and
+// retained trace.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status, code := statusFor(err)
 	s.reg.Counter("server.errors." + code).Inc()
-	writeErrorCode(w, status, code, err.Error())
+	writeErrorCode(w, status, code, err.Error(), requestIDFrom(r.Context()))
 }
 
 // statusRecorder captures the response status for per-endpoint counters.
@@ -106,8 +111,17 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // acquire admits the request into the bounded worker pool: it blocks
 // until a worker slot frees up, the context ends, or the wait queue is
 // already full (errBusy). The server.queue.depth gauge tracks requests
-// waiting for a slot.
+// waiting for a slot; the time spent waiting is recorded on the request's
+// info for the access log and the server.queue.wait histogram.
 func (s *Server) acquire(ctx context.Context) error {
+	t0 := time.Now()
+	defer func() {
+		wait := time.Since(t0)
+		if info := requestInfoFrom(ctx); info != nil {
+			info.queueWait = wait
+		}
+		s.reg.Histogram("server.queue.wait").Observe(wait)
+	}()
 	depth := s.queued.Add(1)
 	s.reg.Gauge("server.queue.depth").Set(depth)
 	defer func() { s.reg.Gauge("server.queue.depth").Set(s.queued.Add(-1)) }()
@@ -126,52 +140,120 @@ func (s *Server) acquire(ctx context.Context) error {
 func (s *Server) release() { <-s.sem }
 
 // endpoint wraps a handler with the service middleware: method check,
-// drain rejection (503 + Retry-After), panic recovery (500 + a marked
-// trace span), per-endpoint request/latency/status metrics, the default
-// request deadline, and — for transaction endpoints — admission through
-// the bounded worker pool.
+// request identity (X-Request-ID accepted or generated, echoed on the
+// response, carried in the context), drain rejection (503 + Retry-After),
+// panic recovery (500 in the standard wire error envelope + a marked
+// trace span), per-endpoint request/latency/status metrics, the JSON
+// access log, the slow-query log, the request-scoped trace ring, the
+// default request deadline, and — for transaction endpoints — admission
+// through the bounded worker pool.
 func (s *Server) endpoint(name, method string, pooled bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
-			writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", method+" required")
+			writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", method+" required", "")
 			return
 		}
+		info := &requestInfo{id: requestID(r)}
+		r = withRequestInfo(r, info)
+		w.Header().Set(requestIDHeader, info.id)
+		t0 := time.Now()
 		if s.draining.Load() {
 			s.reg.Counter("server.drained_rejects").Inc()
-			writeErrorCode(w, http.StatusServiceUnavailable, "unavailable", "server is draining")
+			rec := &statusRecorder{ResponseWriter: w}
+			writeErrorCode(rec, http.StatusServiceUnavailable, "unavailable", "server is draining", info.id)
+			s.logAccess(r, name, rec.status, time.Since(t0), info)
 			return
 		}
 		s.reg.Counter("http." + name + ".requests").Inc()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		t0 := time.Now()
 		sp := s.reg.StartSpan("http." + name)
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
 				// An engine panic must not take the server down: convert
-				// to a 500 and mark the request's trace span.
+				// to a 500 in the standard wire error envelope (with the
+				// request ID) and mark the request's trace span.
 				sp.SetAttr("panic", 1)
 				s.reg.Counter("server.panics").Inc()
 				if rec.status == 0 {
-					writeErrorCode(rec, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p))
+					writeErrorCode(rec, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", p), info.id)
 				}
 			}
+			dur := time.Since(t0)
 			sp.SetAttr("status", int64(rec.status))
 			sp.End()
-			s.reg.Histogram("http." + name + ".duration").Observe(time.Since(t0))
+			s.traces.put(&traceEntry{id: info.id, endpoint: name, status: rec.status, span: sp})
+			s.reg.Histogram("http." + name + ".duration").Observe(dur)
 			s.reg.Counter("http." + name + ".status." + strconv.Itoa(rec.status)).Inc()
+			s.logAccess(r, name, rec.status, dur, info)
+			s.logSlow(r, name, rec.status, dur, info, sp)
 		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 		defer cancel()
+		ctx = obs.ContextWithSpan(ctx, sp)
 		if pooled {
 			if err := s.acquire(ctx); err != nil {
-				s.writeError(rec, err)
+				s.writeError(rec, r, err)
 				return
 			}
 			defer s.release()
 		}
 		h(rec, r.WithContext(ctx))
 	})
+}
+
+// logAccess emits one JSON access-log line (no-op without a configured
+// logger): method, path, status, duration, request ID, branch, and the
+// time the request spent queued for a worker.
+func (s *Server) logAccess(r *http.Request, endpoint string, status int, dur time.Duration, info *requestInfo) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	s.cfg.AccessLog.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+		slog.String("request_id", info.id),
+		slog.String("branch", info.branch),
+		slog.Float64("queue_wait_ms", float64(info.queueWait)/float64(time.Millisecond)),
+	)
+}
+
+// logSlow emits a slow-query log entry when the request ran longer than
+// the configured threshold: the full span tree (request root down to the
+// engine's per-rule spans) plus the fingerprints of the adaptive
+// optimizer's cached plans in play, so a slow request is explainable
+// without reproducing it.
+func (s *Server) logSlow(r *http.Request, endpoint string, status int, dur time.Duration, info *requestInfo, sp *obs.Span) {
+	if s.cfg.AccessLog == nil || s.cfg.SlowQuery <= 0 || dur < s.cfg.SlowQuery {
+		return
+	}
+	s.reg.Counter("server.slow_queries").Inc()
+	attrs := []slog.Attr{
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+		slog.String("request_id", info.id),
+		slog.String("branch", info.branch),
+		slog.Any("trace", sp.Snapshot()),
+	}
+	if ws, err := s.Database().Workspace(core.DefaultBranch); err == nil {
+		if ps := ws.PlanStore(); ps != nil {
+			var fps []string
+			for _, p := range ps.Snapshot() {
+				fps = append(fps, p.Fingerprint)
+				if len(fps) == 8 {
+					break
+				}
+			}
+			if len(fps) > 0 {
+				attrs = append(attrs, slog.Any("plan_fingerprints", fps))
+			}
+		}
+	}
+	s.cfg.AccessLog.LogAttrs(context.Background(), slog.LevelWarn, "slow_query", attrs...)
 }

@@ -38,8 +38,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -77,6 +79,16 @@ type Config struct {
 	// (Database.CommitIfRecorded) and /load re-anchors the store on the
 	// uploaded snapshot. nil serves purely in memory.
 	Durable *durable.Store
+	// AccessLog receives one structured line per request (and slow-query
+	// entries above SlowQuery). nil disables request logging.
+	AccessLog *slog.Logger
+	// SlowQuery is the latency threshold above which a request's span
+	// tree and plan fingerprints are logged (0 disables; requires
+	// AccessLog).
+	SlowQuery time.Duration
+	// TraceRing bounds the retained per-request span trees served by
+	// GET /debug/trace/{id} (default: 256).
+	TraceRing int
 }
 
 // Server serves one Database over HTTP. It is safe for concurrent use;
@@ -90,6 +102,7 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+	traces   *traceStore
 }
 
 // New returns a server over db. Zero Config fields take defaults.
@@ -109,7 +122,13 @@ func New(db *core.Database, cfg Config) *Server {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
-	s := &Server{cfg: cfg, reg: cfg.Obs, sem: make(chan struct{}, cfg.Workers)}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 256
+	}
+	s := &Server{
+		cfg: cfg, reg: cfg.Obs, sem: make(chan struct{}, cfg.Workers),
+		traces: newTraceStore(cfg.TraceRing),
+	}
 	s.db.Store(db)
 	return s
 }
@@ -144,6 +163,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/load", s.endpoint("load", http.MethodPost, true, s.handleLoad))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -163,14 +184,18 @@ func (s *Server) branchesRouter() http.Handler {
 }
 
 // decode reads a JSON request body, applying the branch default and any
-// per-request deadline tightening. The returned cancel must be called.
+// per-request deadline tightening. It records the branch on the request's
+// info for the access log. The returned cancel must be called.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *Request) (*http.Request, func(), bool) {
 	if err := jsonBody(r, req); err != nil {
-		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error(), requestIDFrom(r.Context()))
 		return r, func() {}, false
 	}
 	if req.Branch == "" {
 		req.Branch = core.DefaultBranch
+	}
+	if info := requestInfoFrom(r.Context()); info != nil {
+		info.branch = req.Branch
 	}
 	if req.TimeoutMs > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(req.TimeoutMs)*time.Millisecond)
@@ -203,18 +228,18 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	for {
 		head, err := s.Database().Workspace(req.Branch)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		res, err := head.WithObserver(s.reg).ExecCtx(r.Context(), req.Src)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		version := res.Workspace.Version()
 		if res.Workspace == head || len(res.BaseDeltas) == 0 {
 			// No-op transaction: nothing to commit.
-			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: version, Retries: retries})
+			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: version, Retries: retries, Trace: s.inlineTrace(r)})
 			return
 		}
 		err = s.commitTxn(req.Branch, head, res.Workspace, core.CommitRecord{Kind: "exec", Src: req.Src})
@@ -223,6 +248,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, ExecResponse{
 				OK: true, Branch: req.Branch, Version: version,
 				Retries: retries, Deltas: deltasJSON(res.BaseDeltas),
+				Trace: s.inlineTrace(r),
 			})
 			return
 		}
@@ -233,7 +259,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.reg.Counter("server.commit.conflicts").Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 }
@@ -250,15 +276,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	head, err := s.Database().Workspace(req.Branch)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	rows, err := head.WithObserver(s.reg).QueryCtx(r.Context(), req.Src)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{OK: true, Rows: rowsJSON(rows)})
+	writeJSON(w, http.StatusOK, QueryResponse{OK: true, Rows: rowsJSON(rows), Trace: s.inlineTrace(r)})
 }
 
 // handleAddBlock installs a block through the same optimistic-commit
@@ -271,25 +297,25 @@ func (s *Server) handleAddBlock(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Name == "" {
-		writeErrorCode(w, http.StatusBadRequest, "bad_request", "addblock requires a block name")
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", "addblock requires a block name", requestIDFrom(r.Context()))
 		return
 	}
 	retries := 0
 	for {
 		head, err := s.Database().Workspace(req.Branch)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		next, err := head.WithObserver(s.reg).AddBlockCtx(r.Context(), req.Name, req.Src)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		err = s.commitTxn(req.Branch, head, next, core.CommitRecord{Kind: "addblock", Name: req.Name, Src: req.Src})
 		if err == nil {
 			s.reg.Counter("server.commits").Inc()
-			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: next.Version(), Retries: retries})
+			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: next.Version(), Retries: retries, Trace: s.inlineTrace(r)})
 			return
 		}
 		if errors.Is(err, core.ErrConflict) && retries < s.cfg.MaxRetries && r.Context().Err() == nil {
@@ -299,7 +325,7 @@ func (s *Server) handleAddBlock(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.reg.Counter("server.commit.conflicts").Inc()
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 }
@@ -318,12 +344,12 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	head, err := s.Database().Workspace(req.Branch)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	warns, err := head.CheckProgram(req.Src)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	out := make([]CheckWarning, len(warns))
@@ -341,24 +367,24 @@ func (s *Server) handleBranchesGet(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleBranchesPost(w http.ResponseWriter, r *http.Request) {
 	var req BranchRequest
 	if err := jsonBody(r, &req); err != nil {
-		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error())
+		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error(), requestIDFrom(r.Context()))
 		return
 	}
 	db := s.Database()
 	switch req.Op {
 	case "create":
 		if err := db.Branch(req.From, req.To); err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 	case "branchat":
 		if err := db.BranchAt(req.Version, req.To); err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 	case "delete":
 		if err := db.DeleteBranch(req.To); err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 	case "commit":
@@ -367,20 +393,20 @@ func (s *Server) handleBranchesPost(w http.ResponseWriter, r *http.Request) {
 		// Promote is described entirely by the branch names, so it is
 		// journaled and replayable under durability.
 		if err := db.Promote(req.From, req.To); err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 	case "diff":
 		diff, err := s.diffBranches(req.From, req.To)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, BranchesResponse{OK: true, Diff: diff})
 		return
 	default:
 		writeErrorCode(w, http.StatusBadRequest, "bad_request",
-			fmt.Sprintf("unknown op %q (want create|branchat|delete|commit|diff)", req.Op))
+			fmt.Sprintf("unknown op %q (want create|branchat|delete|commit|diff)", req.Op), requestIDFrom(r.Context()))
 		return
 	}
 	writeJSON(w, http.StatusOK, BranchesResponse{OK: true, Branches: db.Branches()})
@@ -466,7 +492,7 @@ func (s *Server) handleSave(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	db, err := core.LoadDatabase(r.Body)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if st := s.cfg.Durable; st != nil {
@@ -478,7 +504,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		db.AlignSeq(old.Seq() + 1)
 		if err := st.Checkpoint(db.SaveSnapshot); err != nil {
 			old.SetCommitHook(st.LogCommit) // roll back the handoff
-			s.writeError(w, fmt.Errorf("%w: checkpointing loaded snapshot: %v", core.ErrDurability, err))
+			s.writeError(w, r, fmt.Errorf("%w: checkpointing loaded snapshot: %v", core.ErrDurability, err))
 			return
 		}
 		db.SetCommitHook(st.LogCommit)
@@ -493,7 +519,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 // scraper sees the shutdown happen.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", "")
 		return
 	}
 	s.refreshGauges()
@@ -509,6 +535,9 @@ type varsDocument struct {
 	obs.Snapshot
 	PlanStats *optimizer.StoreStats    `json:"plan_stats,omitempty"`
 	Plans     []optimizer.PlanSnapshot `json:"plans,omitempty"`
+	// TraceSampleN is the obs registry's current 1-in-N trace sampling
+	// rate (1 = every root span retained).
+	TraceSampleN int `json:"trace_sample_n"`
 }
 
 // handleVars serves the same snapshot as /debug/vars-style JSON,
@@ -517,11 +546,11 @@ type varsDocument struct {
 // default branch's head sees it).
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required")
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", "")
 		return
 	}
 	s.refreshGauges()
-	doc := varsDocument{Snapshot: s.reg.Snapshot()}
+	doc := varsDocument{Snapshot: s.reg.Snapshot(), TraceSampleN: s.reg.TraceSampling()}
 	if ws, err := s.Database().Workspace(core.DefaultBranch); err == nil {
 		if ps := ws.PlanStore(); ps != nil {
 			stats := ps.Stats()
@@ -566,10 +595,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"branches": len(s.Database().Branches()),
 		"versions": s.Database().Versions(),
 	}
+	if lat := s.latencySummary(); len(lat) > 0 {
+		body["latency"] = lat
+	}
 	if st := s.cfg.Durable; st != nil {
 		body["durable"] = st.Stats()
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// latencySummary reports p50/p95/p99 (milliseconds) and counts per
+// endpoint from the http.<endpoint>.duration histograms, the at-a-glance
+// tail-latency view on /healthz.
+func (s *Server) latencySummary() map[string]map[string]any {
+	snap := s.reg.Snapshot()
+	out := map[string]map[string]any{}
+	for name, h := range snap.Histograms {
+		if h.Count == 0 || !strings.HasPrefix(name, "http.") || !strings.HasSuffix(name, ".duration") {
+			continue
+		}
+		endpoint := strings.TrimSuffix(strings.TrimPrefix(name, "http."), ".duration")
+		out[endpoint] = map[string]any{
+			"count":  h.Count,
+			"p50_ms": float64(h.Quantile(0.50)) / float64(time.Millisecond),
+			"p95_ms": float64(h.Quantile(0.95)) / float64(time.Millisecond),
+			"p99_ms": float64(h.Quantile(0.99)) / float64(time.Millisecond),
+		}
+	}
+	return out
 }
 
 // jsonBody decodes a JSON body, bounding it to keep a hostile client

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"logicblox/internal/core"
+	"logicblox/internal/obs"
 	"logicblox/internal/tuple"
 )
 
@@ -75,12 +76,16 @@ type ExecResponse struct {
 	// Retries counts optimistic re-executions after commit conflicts.
 	Retries int              `json:"retries,omitempty"`
 	Deltas  map[string]Delta `json:"deltas,omitempty"`
+	// Trace is the request's span tree so far, inlined when the request
+	// was made with ?trace=1.
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // QueryResponse carries a query's answer tuples.
 type QueryResponse struct {
-	OK   bool    `json:"ok"`
-	Rows [][]any `json:"rows"`
+	OK    bool              `json:"ok"`
+	Rows  [][]any           `json:"rows"`
+	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // BranchesResponse lists branches, or reports a branch operation.
@@ -109,8 +114,24 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable identifier: no_such_branch, conflict, parse,
 	// typecheck, constraint, timeout, busy, unavailable, bad_request,
-	// internal.
+	// no_such_trace, internal.
 	Code string `json:"code"`
+	// RequestID correlates the failure with its access-log line and the
+	// retained trace at GET /debug/trace/{id} (empty outside a request
+	// scope, e.g. a bare method-not-allowed).
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// TraceResponse is the body of GET /debug/trace/{id}: the retained span
+// tree of one recent request. Without an ID it lists the retained
+// request IDs instead, oldest first.
+type TraceResponse struct {
+	OK        bool              `json:"ok"`
+	RequestID string            `json:"request_id,omitempty"`
+	Endpoint  string            `json:"endpoint,omitempty"`
+	Status    int               `json:"status,omitempty"`
+	Trace     *obs.SpanSnapshot `json:"trace,omitempty"`
+	IDs       []string          `json:"ids,omitempty"`
 }
 
 // valueJSON renders one LogiQL value as its natural JSON form; entities
