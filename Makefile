@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke
+.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke repair-test
 
-ci: fmt-check lint build race difftest serve-test durable-test bench-smoke
+ci: fmt-check lint build race difftest serve-test durable-test repair-test bench-smoke
 
 # The static-analysis gate: go vet plus the repository's own analyzer
 # suite (immutable, errwrap, ctxloop, obssafe — see docs/analysis.md).
@@ -47,6 +47,13 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# The transaction-repair suite: the repair differential harness (repaired
+# heads must be byte-identical to serial re-execution over generated
+# programs and conflict schedules) plus the server-level disjoint-writer
+# race and the repair-vs-coarse contention benchmark — race-detector on.
+repair-test:
+	$(GO) test -race -run 'TestRepair|TestServerRepairDisjointWriters|TestContentionRepairVsCoarse' -count=1 ./internal/engine/ ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

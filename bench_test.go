@@ -7,7 +7,7 @@ package logicblox
 //
 // E1/Fig5  BenchmarkFig5ThreeClique{LFTJ,HashJoin,MergeJoin}
 // E2       BenchmarkBranch
-// E3       BenchmarkTxRepairVsLocking
+// E3       BenchmarkTxRepairVsCoarse
 // E4       BenchmarkIVM
 // E6       BenchmarkWorstCaseOptimal
 // E7       BenchmarkLiveProgramming
@@ -20,8 +20,13 @@ package logicblox
 //          BenchmarkQuery
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 
 	"logicblox/internal/compiler"
@@ -39,7 +44,6 @@ import (
 	"logicblox/internal/solver"
 	"logicblox/internal/treap"
 	"logicblox/internal/tuple"
-	"logicblox/internal/txrepair"
 	"logicblox/internal/workload"
 )
 
@@ -298,25 +302,123 @@ func BenchmarkBranch(b *testing.B) {
 	}
 }
 
-// --- E3: transaction repair vs locking -------------------------------------
+// --- E3: transaction repair vs coarse retry --------------------------------
 
-func BenchmarkTxRepairVsLocking(b *testing.B) {
+// benchInventoryWS seeds inv[k] = 1000 for k in [0, n).
+func benchInventoryWS(b *testing.B, n int) *core.Workspace {
+	b.Helper()
+	var buf strings.Builder
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&buf, "+inv[%d] = 1000.\n", k)
+	}
+	res, err := core.NewWorkspace().Exec(buf.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Workspace
+}
+
+// benchInventoryTxns builds transactions that decrement each touched item
+// through a point read, touching items with probability α·n^(−1/2) (two
+// transactions then share α² items in expectation, the paper's conflict
+// model for §3.4).
+func benchInventoryTxns(n, txCount int, alpha float64) []string {
+	rng := rand.New(rand.NewSource(11))
+	p := alpha / math.Sqrt(float64(n))
+	txs := make([]string, 0, txCount)
+	for i := 0; i < txCount; i++ {
+		var buf strings.Builder
+		for k := 0; k < n; k++ {
+			if rng.Float64() < p {
+				fmt.Fprintf(&buf, "^inv[%d] = r <- inv@start[%d] = q, r = q - 1.\n", k, k)
+			}
+		}
+		if buf.Len() == 0 {
+			k := rng.Intn(n)
+			fmt.Fprintf(&buf, "^inv[%d] = r <- inv@start[%d] = q, r = q - 1.\n", k, k)
+		}
+		txs = append(txs, buf.String())
+	}
+	return txs
+}
+
+// benchRunTxns races the transactions over `workers` goroutines with
+// optimistic commits; a lost CAS tries fine-grained repair first when
+// enabled, else re-executes in full.
+func benchRunTxns(b *testing.B, db *core.Database, txs []string, workers int, repair bool) {
+	b.Helper()
+	ctx := context.Background()
+	work := make(chan string, len(txs))
+	for _, src := range txs {
+		work <- src
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range work {
+				head, err := db.Workspace("main")
+				if err != nil {
+					panic(err)
+				}
+				var res *core.ExecResult
+				var rec *core.ExecRecord
+				if repair {
+					res, rec, err = head.ExecRecordedCtx(ctx, src)
+				} else {
+					res, err = head.ExecCtx(ctx, src)
+				}
+				if err != nil {
+					panic(err)
+				}
+				for db.CommitIf("main", head, res.Workspace) != nil {
+					newHead, err := db.Workspace("main")
+					if err != nil {
+						panic(err)
+					}
+					if rec != nil {
+						if res2, _, rerr := rec.Repair(ctx, newHead); rerr == nil {
+							head, res = newHead, res2
+							continue
+						}
+					}
+					head = newHead
+					if repair {
+						res, rec, err = head.ExecRecordedCtx(ctx, src)
+					} else {
+						res, err = head.ExecCtx(ctx, src)
+					}
+					if err != nil {
+						panic(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkTxRepairVsCoarse(b *testing.B) {
 	workers := runtime.GOMAXPROCS(0)
+	const n, txCount = 1000, 64
 	for _, alpha := range []float64{0.1, 1, 10} {
-		store, txs := txrepair.InventoryWorkloadWork(1500, 96, alpha, 11, 100)
+		seed := benchInventoryWS(b, n)
+		txs := benchInventoryTxns(n, txCount, alpha)
 		b.Run(fmt.Sprintf("repair/alpha=%g", alpha), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				txrepair.RunRepair(store, txs, workers)
+				benchRunTxns(b, core.NewDatabaseWith(seed), txs, workers, true)
 			}
 		})
-		b.Run(fmt.Sprintf("locking/alpha=%g", alpha), func(b *testing.B) {
+		b.Run(fmt.Sprintf("coarse/alpha=%g", alpha), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				txrepair.RunLocking(store, txs, workers)
+				benchRunTxns(b, core.NewDatabaseWith(seed), txs, workers, false)
 			}
 		})
 		b.Run(fmt.Sprintf("serial/alpha=%g", alpha), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				txrepair.RunSerial(store, txs)
+				benchRunTxns(b, core.NewDatabaseWith(seed), txs, 1, false)
 			}
 		})
 	}

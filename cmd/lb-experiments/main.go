@@ -53,7 +53,7 @@ var experiments = []experiment{
 	{"ivm", "E4: incremental maintenance vs recompute/counting/DRed/sensitivity", runIVM},
 	{"live", "E7: live programming — addblock incremental vs full re-evaluation", runLive},
 	{"treap", "E8: treap set operations and sharing-aware equality", runTreap},
-	{"repair", "E3: transaction repair vs row-level locking across α (paper §3.4)", runRepair},
+	{"repair", "E3: fine-grained transaction repair vs coarse optimistic retry across α (paper §3.4)", runRepair},
 	{"solve", "E9: LP/MIP grounding, solving, and incremental re-grounding", runSolve},
 	{"predict", "E10: predict rules — learn and eval throughput and accuracy", runPredict},
 	{"adaptive", "E11: feedback-driven join-order optimization — plan cache vs per-tx re-sampling", runAdaptive},

@@ -58,6 +58,7 @@ func main() {
 	queue := flag.Int("queue", 0, "max requests waiting for a worker before 503 (0 = 64)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	retries := flag.Int("retries", 3, "max optimistic re-executions after commit conflicts")
+	noRepair := flag.Bool("no-repair", false, "disable fine-grained transaction repair on conflict (every lost race re-executes fully)")
 	adaptive := flag.Bool("adaptive-opt", false, "feedback-driven join-order optimization with a cached plan store")
 	snapshot := flag.String("snapshot", "", "load the database from this file at startup and save it on shutdown (no journaling; see -data-dir)")
 	dataDir := flag.String("data-dir", "", "run durably from this directory: snapshot generations + write-ahead commit journal")
@@ -108,14 +109,15 @@ func main() {
 	}
 
 	s := server.New(db, server.Config{
-		Workers:    *workers,
-		Queue:      *queue,
-		Timeout:    *timeout,
-		MaxRetries: *retries,
-		Obs:        reg,
-		Durable:    store,
-		AccessLog:  logger,
-		SlowQuery:  *slowQuery,
+		Workers:       *workers,
+		Queue:         *queue,
+		Timeout:       *timeout,
+		MaxRetries:    *retries,
+		DisableRepair: *noRepair,
+		Obs:           reg,
+		Durable:       store,
+		AccessLog:     logger,
+		SlowQuery:     *slowQuery,
 	})
 
 	if *debugAddr != "" {

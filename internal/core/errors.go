@@ -39,4 +39,10 @@ var (
 	// could not be made durable (the commit hook failed). The in-memory
 	// state is unchanged: a commit that cannot be logged does not happen.
 	ErrDurability = errors.New("durability failure")
+	// ErrRepairNotApplicable marks a conflicted transaction whose record
+	// cannot be repaired against the new head (paper §3.4): the logic or
+	// a predicate arity changed under it, or the winner's writes
+	// intersect its reads from the first stratum so nothing would be
+	// reused. Callers fall back to full re-execution.
+	ErrRepairNotApplicable = errors.New("repair not applicable")
 )

@@ -7,6 +7,7 @@ import (
 	"logicblox/internal/ast"
 	"logicblox/internal/compiler"
 	"logicblox/internal/engine"
+	"logicblox/internal/lftj"
 	"logicblox/internal/meta"
 	"logicblox/internal/obs"
 	"logicblox/internal/parser"
@@ -166,6 +167,44 @@ func (ws *Workspace) ExecCtx(rctx context.Context, src string) (*ExecResult, err
 }
 
 func (ws *Workspace) exec(rctx context.Context, src string, sp *obs.Span) (*ExecResult, error) {
+	run, err := ws.execReactive(rctx, src, sp, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ws.applyReactive(rctx, run, sp)
+}
+
+// reactiveRun is the outcome of an exec transaction's reactive phase
+// against one workspace snapshot: the combined program, the evaluation
+// context holding the post-reactive delta relations, and the pure
+// derivations per head predicate (the union of every rule-evaluation
+// output, independent of what the heads were seeded with).
+type reactiveRun struct {
+	combined *compiler.Program
+	ctx      *engine.Context
+	derived  map[string]relation.Relation
+}
+
+// seedExecCtx builds the engine context for an exec transaction's
+// reactive phase over ws: current contents plus @start versions.
+func (ws *Workspace) seedExecCtx(rctx context.Context, combined *compiler.Program) *engine.Context {
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer(), Ctx: rctx})
+	for p, info := range combined.Preds {
+		// relationOr, not Relation: a predicate first introduced by this
+		// transaction is unknown to ws.prog, and defaulting its @start
+		// arity would corrupt the delta application below.
+		ctx.Set(p+compiler.DecorAtStart, ws.relationOr(p, info.Arity))
+	}
+	return ctx
+}
+
+// execReactive parses, compiles and evaluates the reactive strata of an
+// exec transaction against ws. When rec is non-nil it additionally
+// records, per reactive stratum, the sensitivity intervals of every read
+// and the pure derivations of every rule — the read/derivation record
+// that ExecRecord.Repair replays against a different head on commit
+// conflict (paper §3.4).
+func (ws *Workspace) execReactive(rctx context.Context, src string, sp *obs.Span, rec *ExecRecord) (*reactiveRun, error) {
 	psp := sp.Child("parse")
 	eprog, err := parser.Parse(src)
 	psp.End()
@@ -178,29 +217,61 @@ func (ws *Workspace) exec(rctx context.Context, src string, sp *obs.Span) (*Exec
 	if err != nil {
 		return nil, fmt.Errorf("exec %w: %w", ErrTypecheck, err)
 	}
-
-	// Seed the evaluation context: current contents plus @start versions.
-	rels := ws.relations()
-	ctx := engine.NewContext(combined, rels, engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer(), Ctx: rctx})
-	for p, info := range combined.Preds {
-		// relationOr, not Relation: a predicate first introduced by this
-		// transaction is unknown to ws.prog, and defaulting its @start
-		// arity would corrupt the delta application below.
-		ctx.Set(p+compiler.DecorAtStart, ws.relationOr(p, info.Arity))
-	}
+	ctx := ws.seedExecCtx(rctx, combined)
+	run := &reactiveRun{combined: combined, ctx: ctx, derived: map[string]relation.Relation{}}
 
 	// Evaluate reactive strata.
 	esp := sp.Child("eval.reactive")
 	ctx.SetSpan(esp)
 	for _, stratum := range combined.ReactiveStrata {
-		if err := ctx.EvalStratum(stratum); err != nil {
+		var idx *lftj.SensitivityIndex
+		if rec != nil {
+			idx = lftj.NewSensitivityIndex()
+			ctx.SetSensitivityIndex(idx)
+		}
+		ctx.StartDerivedCapture()
+		err := ctx.EvalStratum(stratum)
+		capt := ctx.TakeDerivedCapture()
+		if rec != nil {
+			ctx.SetSensitivityIndex(nil)
+		}
+		if err != nil {
 			esp.End()
 			return nil, fmt.Errorf("exec: %w", err)
 		}
+		if rec != nil {
+			rec.strata = append(rec.strata, recordedStratum{sens: idx, derived: capt})
+		}
+		mergeDerived(run.derived, capt)
 	}
 	ctx.SetSpan(nil)
 	esp.End()
+	if rec != nil {
+		rec.combined = combined
+	}
+	return run, nil
+}
 
+// mergeDerived unions src's per-head derivations into dst.
+func mergeDerived(dst, src map[string]relation.Relation) {
+	for h, r := range src {
+		if cur, ok := dst[h]; ok {
+			dst[h] = cur.Union(r)
+		} else {
+			dst[h] = r
+		}
+	}
+}
+
+// applyReactive finishes an exec transaction against the receiver: it
+// expands ^R upserts, applies the frame rules R := (R@start − (-R)) ∪ (+R),
+// merges plain-headed reactive derivations into their head predicates,
+// re-derives affected views and checks integrity constraints. run's
+// context must have been seeded from the receiver (its @start relations
+// are the receiver's contents) — either by execReactive on this
+// workspace, or by ExecRecord replay onto a new head.
+func (ws *Workspace) applyReactive(rctx context.Context, run *reactiveRun, sp *obs.Span) (*ExecResult, error) {
+	combined, ctx := run.combined, run.ctx
 	fsp := sp.Child("frame")
 	// Expand ^R upserts: replace the functional value for the key, i.e.
 	// delete the old binding (if different) and insert the new one.
@@ -252,15 +323,24 @@ func (ws *Workspace) exec(rctx context.Context, src string, sp *obs.Span) (*Exec
 		dirty[p] = true
 	}
 
-	// Plain-headed reactive rules (e.g. audit logs fed by +R) insert into
-	// their extensional head predicates.
+	// Plain-headed reactive rules (e.g. audit logs fed by +R) insert their
+	// pure derivations into their extensional head predicates. Using the
+	// captured derivations (rather than the context's head content, which
+	// also holds the head's seed) keeps the merge independent of what the
+	// receiver already stored — a frame deletion of a head tuple survives
+	// unless the transaction actually re-derived it.
+	seen := map[string]bool{}
 	for _, stratum := range combined.ReactiveStrata {
 		for _, r := range stratum {
 			head := r.HeadName
-			if compiler.BaseName(head) != head {
+			if compiler.BaseName(head) != head || seen[head] {
 				continue
 			}
-			derivedRel := ctx.Relation(head)
+			seen[head] = true
+			derivedRel, ok := run.derived[head]
+			if !ok || derivedRel.IsEmpty() {
+				continue
+			}
 			cur := out.relationOr(head, derivedRel.Arity())
 			merged := cur.Union(derivedRel)
 			if !merged.Equal(cur) {

@@ -33,9 +33,26 @@ type genAtom struct {
 	vars []string
 }
 
+// genCmp is a comparison literal: l op r (var vs var) or l op c (var vs
+// constant).
+type genCmp struct {
+	l, op, r string // r == "" → compare against the constant c
+	c        int64
+}
+
+// genAssign binds a fresh variable to an arithmetic expression over
+// bound variables/constants: v = l op r (or v = l op c).
+type genAssign struct {
+	v, l, op, r string // r == "" → constant operand c
+	c           int64
+}
+
 type genRule struct {
-	head genAtom
-	body []genAtom
+	head    genAtom
+	body    []genAtom
+	negs    []genAtom // negated atoms; all vars bound by positive atoms
+	cmps    []genCmp
+	assigns []genAssign
 }
 
 type genProgram struct {
@@ -50,9 +67,26 @@ func (p *genProgram) source() string {
 	var b strings.Builder
 	for _, r := range p.rules {
 		fmt.Fprintf(&b, "%s(%s) <- ", r.head.pred, strings.Join(r.head.vars, ", "))
-		parts := make([]string, len(r.body))
-		for i, a := range r.body {
-			parts[i] = fmt.Sprintf("%s(%s)", a.pred, strings.Join(a.vars, ", "))
+		var parts []string
+		for _, a := range r.body {
+			parts = append(parts, fmt.Sprintf("%s(%s)", a.pred, strings.Join(a.vars, ", ")))
+		}
+		for _, a := range r.assigns {
+			rhs := a.r
+			if rhs == "" {
+				rhs = fmt.Sprintf("%d", a.c)
+			}
+			parts = append(parts, fmt.Sprintf("%s = %s %s %s", a.v, a.l, a.op, rhs))
+		}
+		for _, c := range r.cmps {
+			rhs := c.r
+			if rhs == "" {
+				rhs = fmt.Sprintf("%d", c.c)
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s", c.l, c.op, rhs))
+		}
+		for _, n := range r.negs {
+			parts = append(parts, fmt.Sprintf("!%s(%s)", n.pred, strings.Join(n.vars, ", ")))
 		}
 		b.WriteString(strings.Join(parts, ", "))
 		b.WriteString(".\n")
@@ -62,13 +96,23 @@ func (p *genProgram) source() string {
 
 const genDomain = 7 // value domain [0, genDomain)
 
-var genVarPool = []string{"a", "b", "c", "d", "e"}
+var (
+	genVarPool    = []string{"a", "b", "c", "d", "e"}
+	genAssignPool = []string{"x", "y", "z"} // assigned-variable names, disjoint from genVarPool
+	genCmpOps     = []string{"<", "<=", ">", ">=", "!="}
+	genArithOps   = []string{"+", "-", "*"}
+)
 
-// generate builds a random positive Datalog program: 2-3 base predicates
-// with random small relations, 1-3 derived predicates each defined by
-// 1-2 conjunctive rules over earlier predicates, possibly recursive.
-// Atom variables are drawn from a shared pool so bodies join; head
-// variables are a subset of body variables (safety).
+// generate builds a random stratified Datalog program: 2-3 base
+// predicates with random small relations, 1-3 derived predicates each
+// defined by 1-2 rules over earlier predicates, possibly recursive.
+// Beyond conjunctive atoms, rule bodies may carry comparison literals
+// (var vs var or var vs constant), arithmetic assignments binding fresh
+// head-usable variables (non-recursive rules only, so fixpoints stay
+// finite), and negated atoms over base or strictly earlier derived
+// predicates with every variable positively bound (safety and
+// stratification). Atom variables are drawn from a shared pool so bodies
+// join; head variables are a subset of body and assigned variables.
 func generate(seed int64) *genProgram {
 	rng := rand.New(rand.NewSource(seed))
 	p := &genProgram{
@@ -114,9 +158,13 @@ func generate(seed int64) *genProgram {
 			nAtoms := 2 + rng.Intn(2)
 			rule := genRule{head: genAtom{pred: name}}
 			seen := map[string]bool{}
+			recursive := false
 			var bodyVars []string
 			for ai := 0; ai < nAtoms; ai++ {
 				pred := pool[rng.Intn(len(pool))]
+				if pred == name {
+					recursive = true
+				}
 				vars := pickVars(rng, p.arities[pred], bodyVars)
 				for _, v := range vars {
 					if !seen[v] {
@@ -126,11 +174,65 @@ func generate(seed int64) *genProgram {
 				}
 				rule.body = append(rule.body, genAtom{pred: pred, vars: vars})
 			}
+
+			// Arithmetic assignment (non-recursive rules only: a fresh
+			// value flowing into a recursive head would diverge).
+			if !recursive && rng.Intn(3) == 0 {
+				a := genAssign{
+					v:  genAssignPool[rng.Intn(len(genAssignPool))],
+					l:  bodyVars[rng.Intn(len(bodyVars))],
+					op: genArithOps[rng.Intn(len(genArithOps))],
+				}
+				if rng.Intn(2) == 0 && len(bodyVars) > 1 {
+					a.r = bodyVars[rng.Intn(len(bodyVars))]
+				} else {
+					a.c = int64(rng.Intn(genDomain))
+				}
+				rule.assigns = append(rule.assigns, a)
+			}
+
+			// Comparison literal over bound variables/constants.
+			if rng.Intn(3) == 0 {
+				c := genCmp{
+					l:  bodyVars[rng.Intn(len(bodyVars))],
+					op: genCmpOps[rng.Intn(len(genCmpOps))],
+				}
+				if rng.Intn(2) == 0 && len(bodyVars) > 1 {
+					c.r = bodyVars[rng.Intn(len(bodyVars))]
+				} else {
+					c.c = int64(rng.Intn(genDomain))
+				}
+				rule.cmps = append(rule.cmps, c)
+			}
+
+			// Negated atom over a base or strictly earlier derived
+			// predicate, every variable positively bound.
+			if rng.Intn(3) == 0 {
+				negPool := append([]string(nil), baseNames...)
+				negPool = append(negPool, p.derived[:i]...)
+				pred := negPool[rng.Intn(len(negPool))]
+				vars := make([]string, p.arities[pred])
+				for k := range vars {
+					vars[k] = bodyVars[rng.Intn(len(bodyVars))]
+				}
+				rule.negs = append(rule.negs, genAtom{pred: pred, vars: vars})
+			}
+
 			// Head: a random nonempty subset of body variables of the
-			// declared arity (repeat if the body is variable-poor).
+			// declared arity (repeat if the body is variable-poor);
+			// assigned variables are candidates too.
+			headPool := bodyVars
+			for _, a := range rule.assigns {
+				headPool = append(headPool, a.v)
+			}
 			rule.head.vars = make([]string, arity)
 			for k := range rule.head.vars {
-				rule.head.vars[k] = bodyVars[rng.Intn(len(bodyVars))]
+				rule.head.vars[k] = headPool[rng.Intn(len(headPool))]
+			}
+			// Bias toward actually exercising the assignment: route the
+			// assigned value into the head half the time.
+			if len(rule.assigns) > 0 && rng.Intn(2) == 0 {
+				rule.head.vars[rng.Intn(arity)] = rule.assigns[0].v
 			}
 			p.rules = append(p.rules, rule)
 		}
@@ -163,9 +265,13 @@ func pickVars(rng *rand.Rand, n int, used []string) []string {
 
 // ---- naive nested-loop reference evaluator ------------------------------
 
-// refEval computes the least fixpoint of the program by naive iteration:
-// apply every rule with a nested-loop join until nothing new derives.
-// It shares no code with the engine under test.
+// refEval computes the program's stratified model by naive iteration:
+// derived predicates evaluate in definition order (their bodies only
+// reference base, strictly earlier derived predicates, and — for
+// recursive rules — themselves, so definition order is a stratification
+// and negated atoms always see completed predicates), each iterated to
+// fixpoint with nested-loop joins. It shares no code with the engine
+// under test.
 func refEval(p *genProgram, base map[string]relation.Relation) map[string]relation.Relation {
 	rels := map[string][]tuple.Tuple{}
 	keys := map[string]map[string]bool{}
@@ -190,12 +296,17 @@ func refEval(p *genProgram, base map[string]relation.Relation) map[string]relati
 		}
 	}
 
-	for changed := true; changed; {
-		changed = false
-		for _, r := range p.rules {
-			for _, t := range refApplyRule(r, rels) {
-				if add(r.head.pred, t) {
-					changed = true
+	for _, d := range p.derived {
+		for changed := true; changed; {
+			changed = false
+			for _, r := range p.rules {
+				if r.head.pred != d {
+					continue
+				}
+				for _, t := range refApplyRule(r, rels) {
+					if add(r.head.pred, t) {
+						changed = true
+					}
 				}
 			}
 		}
@@ -213,18 +324,64 @@ func refEval(p *genProgram, base map[string]relation.Relation) map[string]relati
 }
 
 // refApplyRule computes one application of a rule via nested loops over
-// the body atoms, binding variables left to right.
+// the body atoms, binding variables left to right; once all positive
+// atoms are bound it evaluates assignments, then filters the binding
+// through comparisons and negated atoms before emitting the head.
 func refApplyRule(r genRule, rels map[string][]tuple.Tuple) []tuple.Tuple {
 	var out []tuple.Tuple
 	env := map[string]tuple.Value{}
 	var walk func(i int)
 	walk = func(i int) {
 		if i == len(r.body) {
-			t := make(tuple.Tuple, len(r.head.vars))
-			for k, v := range r.head.vars {
-				t[k] = env[v]
+			var assigned []string
+			for _, a := range r.assigns {
+				l := env[a.l].AsInt()
+				rv := a.c
+				if a.r != "" {
+					rv = env[a.r].AsInt()
+				}
+				var v int64
+				switch a.op {
+				case "+":
+					v = l + rv
+				case "-":
+					v = l - rv
+				case "*":
+					v = l * rv
+				}
+				env[a.v] = tuple.Int(v)
+				assigned = append(assigned, a.v)
 			}
-			out = append(out, t)
+			ok := true
+			for _, c := range r.cmps {
+				l := env[c.l].AsInt()
+				rv := c.c
+				if c.r != "" {
+					rv = env[c.r].AsInt()
+				}
+				if !refCompare(c.op, l, rv) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, n := range r.negs {
+					if refMatches(n, env, rels) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				t := make(tuple.Tuple, len(r.head.vars))
+				for k, v := range r.head.vars {
+					t[k] = env[v]
+				}
+				out = append(out, t)
+			}
+			for _, v := range assigned {
+				delete(env, v)
+			}
 			return
 		}
 		a := r.body[i]
@@ -252,6 +409,41 @@ func refApplyRule(r genRule, rels map[string][]tuple.Tuple) []tuple.Tuple {
 	}
 	walk(0)
 	return out
+}
+
+// refCompare evaluates one comparison operator over ints.
+func refCompare(op string, l, r int64) bool {
+	switch op {
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	case "!=":
+		return l != r
+	default:
+		panic("unknown comparison op " + op)
+	}
+}
+
+// refMatches reports whether a fully bound atom pattern matches any fact.
+func refMatches(a genAtom, env map[string]tuple.Value, rels map[string][]tuple.Tuple) bool {
+	for _, fact := range rels[a.pred] {
+		ok := true
+		for k, v := range a.vars {
+			if !tuple.Equal(env[v], fact[k]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // ---- the differential harness -------------------------------------------

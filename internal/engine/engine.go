@@ -71,12 +71,13 @@ type Context struct {
 	optimize  bool
 	planStore *optimizer.PlanStore
 	parallel  int
-	obs       *obs.Registry              // nil = instrumentation off
-	ctx       context.Context            // nil = unbounded evaluation
-	span      *obs.Span                  // parent for stratum spans (may be nil)
-	mu        sync.Mutex                 // guards perms, plans and ruleStats during parallel evaluation
-	plans     map[int]*compiler.RulePlan // optimizer decisions, by rule ID
-	ruleStats map[int]*obs.RuleStats     // cached per-rule profile handles
+	obs       *obs.Registry                // nil = instrumentation off
+	ctx       context.Context              // nil = unbounded evaluation
+	span      *obs.Span                    // parent for stratum spans (may be nil)
+	mu        sync.Mutex                   // guards perms, plans and ruleStats during parallel evaluation
+	plans     map[int]*compiler.RulePlan   // optimizer decisions, by rule ID
+	ruleStats map[int]*obs.RuleStats       // cached per-rule profile handles
+	capture   map[string]relation.Relation // per-head union of rule outputs (nil = off)
 }
 
 // NewContext builds a context over base relation contents (keyed by
@@ -249,6 +250,7 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 	}
 	for i, r := range rules {
 		derived := results[i]
+		c.captureDerived(r.HeadName, derived)
 		cur := c.Relation(r.HeadName)
 		fresh := derived.Difference(cur)
 		if !fresh.IsEmpty() {
@@ -291,6 +293,7 @@ func (c *Context) EvalStratum(rules []*compiler.RulePlan) error {
 				if err != nil {
 					return err
 				}
+				c.captureDerived(r.HeadName, derived)
 				cur := c.Relation(r.HeadName)
 				fresh := derived.Difference(cur)
 				if fresh.IsEmpty() {

@@ -75,8 +75,42 @@ func (c *Context) PinnedDerivable(r *compiler.RulePlan, t tuple.Tuple) (bool, er
 
 // SetSensitivityIndex redirects sensitivity recording of subsequent
 // evaluations to idx (nil disables recording). The incremental-maintenance
-// layer uses this to record one index per rule or stratum.
+// layer uses this to record one index per rule or stratum; transaction
+// repair records one index per reactive stratum.
 func (c *Context) SetSensitivityIndex(idx *lftj.SensitivityIndex) { c.sens = idx }
+
+// StartDerivedCapture begins accumulating, per head predicate, the union
+// of every rule-evaluation output produced by subsequent EvalStratum
+// calls (full passes and semi-naive fixpoint rounds alike). Transaction
+// repair (paper §3.4) uses the captured pure derivations to replay an
+// unaffected stratum against a different database head without
+// re-evaluating it: for any head h, the post-stratum content of h is
+// exactly seed(h) ∪ captured(h), and captured(h) is portable to a new
+// seed as long as no recorded read of the stratum was affected.
+func (c *Context) StartDerivedCapture() { c.capture = map[string]relation.Relation{} }
+
+// TakeDerivedCapture stops capturing and returns the accumulated per-head
+// derivations since StartDerivedCapture (nil if capture was off).
+func (c *Context) TakeDerivedCapture() map[string]relation.Relation {
+	m := c.capture
+	c.capture = nil
+	return m
+}
+
+// captureDerived folds one rule-evaluation output into the running
+// capture. Only called from serial sections of EvalStratum (the
+// post-parallel results loop and the fixpoint rounds), so no locking is
+// needed.
+func (c *Context) captureDerived(head string, r relation.Relation) {
+	if c.capture == nil || r.IsEmpty() {
+		return
+	}
+	if cur, ok := c.capture[head]; ok {
+		c.capture[head] = cur.Union(r)
+	} else {
+		c.capture[head] = r
+	}
+}
 
 // EnumerateBindings runs the rule body (with optional per-atom overrides)
 // and calls emit once per satisfying assignment with the full binding

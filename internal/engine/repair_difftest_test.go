@@ -1,0 +1,326 @@
+package engine_test
+
+// Repair differential harness (paper §3.4): every generated program is
+// turned into a live workspace, then pairs of concurrent writer
+// transactions race for the same head. The loser's recorded execution is
+// repaired against the winner's head via sensitivity-interval
+// intersection, and the repaired head must be byte-identical to the
+// oracle — serially re-executing the loser's source on the winner's
+// head. Fact-only transactions (empty read set) must always take the
+// repair path; transactions whose reads the winner overwrote must fall
+// back with ErrRepairNotApplicable, never silently diverge.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"logicblox/internal/core"
+	"logicblox/internal/relation"
+)
+
+// buildRepairWorkspace installs the generated program as a block and
+// loads its base relations, returning the head workspace and the sorted
+// base-predicate names.
+func buildRepairWorkspace(t *testing.T, p *genProgram) (*core.Workspace, []string) {
+	t.Helper()
+	ws := core.NewWorkspace()
+	var err error
+	ws, err = ws.AddBlock("gen", p.source())
+	if err != nil {
+		t.Fatalf("seed %d: addblock: %v\n%s", p.seed, err, p.source())
+	}
+	names := make([]string, 0, len(p.base))
+	for name := range p.base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws, err = ws.Insert(name, p.base[name].Slice()...)
+		if err != nil {
+			t.Fatalf("seed %d: load %s: %v", p.seed, name, err)
+		}
+	}
+	return ws, names
+}
+
+// genTxn emits one writer transaction against p: 1-3 random delta facts
+// over base predicates, plus sometimes a reactive rule deriving facts
+// for a base predicate from a scan of another predicate. The rule gives
+// the transaction a read set, so a winner that touches the scanned
+// predicate defeats repair; fact-only transactions read nothing and must
+// always repair.
+func genTxn(rng *rand.Rand, p *genProgram, baseNames []string) string {
+	var b strings.Builder
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		pred := baseNames[rng.Intn(len(baseNames))]
+		sign := "+"
+		if rng.Intn(4) == 0 {
+			sign = "-"
+		}
+		vals := make([]string, p.arities[pred])
+		for k := range vals {
+			vals[k] = fmt.Sprintf("%d", rng.Intn(genDomain+3))
+		}
+		fmt.Fprintf(&b, "%s%s(%s).\n", sign, pred, strings.Join(vals, ", "))
+	}
+	if rng.Intn(3) == 0 {
+		dst := baseNames[rng.Intn(len(baseNames))]
+		pool := append(append([]string(nil), baseNames...), p.derived...)
+		src := pool[rng.Intn(len(pool))]
+		svars := make([]string, p.arities[src])
+		for k := range svars {
+			svars[k] = fmt.Sprintf("s%d", k)
+		}
+		hvars := make([]string, p.arities[dst])
+		for k := range hvars {
+			hvars[k] = svars[rng.Intn(len(svars))]
+		}
+		fmt.Fprintf(&b, "+%s(%s) <- %s(%s).\n",
+			dst, strings.Join(hvars, ", "), src, strings.Join(svars, ", "))
+	}
+	return b.String()
+}
+
+// factSrc renders a single delta fact with every column set to v.
+func factSrc(sign, pred string, arity int, v int) string {
+	vals := make([]string, arity)
+	for k := range vals {
+		vals[k] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%s%s(%s).\n", sign, pred, strings.Join(vals, ", "))
+}
+
+// assertHeadsEqual compares every relation (base and derived) of the two
+// workspaces; missing relations count as empty.
+func assertHeadsEqual(t *testing.T, label string, got, want *core.Workspace) {
+	t.Helper()
+	gr, wr := got.Relations(), want.Relations()
+	names := map[string]bool{}
+	for n := range gr {
+		names[n] = true
+	}
+	for n := range wr {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		g, gok := gr[n]
+		w, wok := wr[n]
+		if !gok {
+			g = relation.New(w.Arity())
+		}
+		if !wok {
+			w = relation.New(g.Arity())
+		}
+		if !g.Equal(w) {
+			t.Fatalf("%s: relation %s diverged:\n  repaired: %v\n  serial:   %v",
+				label, n, g.Slice(), w.Slice())
+		}
+	}
+}
+
+// TestRepairDifferential races randomized writer pairs over every
+// generated program: whenever repair succeeds, the repaired head must
+// equal the serial re-execution oracle; whenever it declines, the error
+// must be the conservative ErrRepairNotApplicable sentinel (coarse retry
+// territory), never a hard failure or a silently wrong head.
+func TestRepairDifferential(t *testing.T) {
+	ctx := context.Background()
+	var repaired, fellBack int
+	for seed := int64(0); seed < diffPrograms; seed++ {
+		p := generate(seed)
+		head, baseNames := buildRepairWorkspace(t, p)
+		rng := rand.New(rand.NewSource(seed + 0x5eed))
+		for round := 0; round < 4; round++ {
+			srcA := genTxn(rng, p, baseNames)
+			srcB := genTxn(rng, p, baseNames)
+			label := fmt.Sprintf("seed %d round %d\nsrcA:\n%ssrcB:\n%s", seed, round, srcA, srcB)
+
+			// A executes on head and records; B wins the race.
+			_, recA, err := head.ExecRecordedCtx(ctx, srcA)
+			if err != nil {
+				t.Fatalf("%s: recorded exec: %v", label, err)
+			}
+			resB, err := head.Exec(srcB)
+			if err != nil {
+				t.Fatalf("%s: winner exec: %v", label, err)
+			}
+			headB := resB.Workspace
+
+			serial, serr := headB.Exec(srcA)
+			got, stats, rerr := recA.Repair(ctx, headB)
+			if rerr != nil {
+				if !errors.Is(rerr, core.ErrRepairNotApplicable) {
+					t.Fatalf("%s: repair failed hard: %v", label, rerr)
+				}
+				if serr != nil {
+					t.Fatalf("%s: serial re-execution failed: %v", label, serr)
+				}
+				fellBack++
+				head = serial.Workspace
+				continue
+			}
+			if serr != nil {
+				t.Fatalf("%s: repair succeeded but serial re-execution failed: %v", label, serr)
+			}
+			if stats.StrataReused > stats.StrataTotal {
+				t.Fatalf("%s: stats out of range: %+v", label, stats)
+			}
+			repaired++
+			assertHeadsEqual(t, label, got.Workspace, serial.Workspace)
+			head = got.Workspace
+		}
+	}
+	if repaired == 0 {
+		t.Fatalf("no conflict was repaired across %d programs: the repair path was never exercised", diffPrograms)
+	}
+	t.Logf("repair differential: %d conflicts repaired, %d fell back to full re-execution", repaired, fellBack)
+}
+
+// TestRepairDisjointFactWriters pins the headline property: a loser that
+// only wrote delta facts recorded no reads, so it must repair — with
+// every stratum reused — no matter what the winner wrote, even to the
+// same predicate (repair is tuple-granular, not predicate-granular).
+func TestRepairDisjointFactWriters(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 10; seed++ {
+		p := generate(seed)
+		head, baseNames := buildRepairWorkspace(t, p)
+		x, y := baseNames[0], baseNames[1]
+		srcA := factSrc("+", x, p.arities[x], 97)
+		for _, tc := range []struct{ name, srcB string }{
+			{"disjoint predicates", factSrc("+", y, p.arities[y], 99)},
+			{"same predicate, different tuple", factSrc("+", x, p.arities[x], 99)},
+		} {
+			_, rec, err := head.ExecRecordedCtx(ctx, srcA)
+			if err != nil {
+				t.Fatalf("seed %d %s: recorded exec: %v", seed, tc.name, err)
+			}
+			resB, err := head.Exec(tc.srcB)
+			if err != nil {
+				t.Fatalf("seed %d %s: winner exec: %v", seed, tc.name, err)
+			}
+			headB := resB.Workspace
+			if headB == head {
+				t.Fatalf("seed %d %s: winner was a no-op", seed, tc.name)
+			}
+			got, stats, rerr := rec.Repair(ctx, headB)
+			if rerr != nil {
+				t.Fatalf("seed %d %s: fact-only loser (empty read set) must repair, got %v", seed, tc.name, rerr)
+			}
+			if stats.StrataTotal == 0 || stats.StrataReused != stats.StrataTotal {
+				t.Fatalf("seed %d %s: want all strata reused, got %+v", seed, tc.name, stats)
+			}
+			serial, err := headB.Exec(srcA)
+			if err != nil {
+				t.Fatalf("seed %d %s: serial oracle: %v", seed, tc.name, err)
+			}
+			assertHeadsEqual(t, fmt.Sprintf("seed %d %s", seed, tc.name), got.Workspace, serial.Workspace)
+		}
+	}
+}
+
+// TestRepairFallbackOnOverlappingRead pins the conservative side: when
+// the winner writes into a predicate the loser's rule scanned, the
+// recorded intervals intersect the write set and repair must decline
+// with ErrRepairNotApplicable — correctness then comes from the coarse
+// full re-execution it falls back to.
+func TestRepairFallbackOnOverlappingRead(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 10; seed++ {
+		p := generate(seed)
+		head, baseNames := buildRepairWorkspace(t, p)
+		x, y := baseNames[0], baseNames[1]
+		svars := make([]string, p.arities[x])
+		for k := range svars {
+			svars[k] = fmt.Sprintf("s%d", k)
+		}
+		hvars := make([]string, p.arities[y])
+		for k := range hvars {
+			hvars[k] = svars[0]
+		}
+		// A scans all of x to derive facts for y; B writes a new x tuple.
+		srcA := fmt.Sprintf("+%s(%s) <- %s(%s).\n",
+			y, strings.Join(hvars, ", "), x, strings.Join(svars, ", "))
+		srcB := factSrc("+", x, p.arities[x], 98)
+
+		_, rec, err := head.ExecRecordedCtx(ctx, srcA)
+		if err != nil {
+			t.Fatalf("seed %d: recorded exec: %v", seed, err)
+		}
+		resB, err := head.Exec(srcB)
+		if err != nil {
+			t.Fatalf("seed %d: winner exec: %v", seed, err)
+		}
+		_, _, rerr := rec.Repair(ctx, resB.Workspace)
+		if !errors.Is(rerr, core.ErrRepairNotApplicable) {
+			t.Fatalf("seed %d: winner overwrote the loser's read set; want ErrRepairNotApplicable, got %v", seed, rerr)
+		}
+		// The coarse path the caller falls back to must still work.
+		if _, err := resB.Workspace.Exec(srcA); err != nil {
+			t.Fatalf("seed %d: coarse re-execution: %v", seed, err)
+		}
+	}
+}
+
+// TestRepairChainedConflictsAndSchemaChange checks two edges of the
+// record's validity: it repairs against a head that moved several times
+// since the snapshot (the diff is always taken against the original
+// snapshot), and it conservatively declines once the winner changed the
+// installed program itself.
+func TestRepairChainedConflictsAndSchemaChange(t *testing.T) {
+	ctx := context.Background()
+	p := generate(3)
+	head, baseNames := buildRepairWorkspace(t, p)
+	x, y := baseNames[0], baseNames[1]
+	srcA := factSrc("+", x, p.arities[x], 97)
+
+	_, rec, err := head.ExecRecordedCtx(ctx, srcA)
+	if err != nil {
+		t.Fatalf("recorded exec: %v", err)
+	}
+	res1, err := head.Exec(factSrc("+", y, p.arities[y], 41))
+	if err != nil {
+		t.Fatalf("winner 1: %v", err)
+	}
+	res2, err := res1.Workspace.Exec(factSrc("+", y, p.arities[y], 42))
+	if err != nil {
+		t.Fatalf("winner 2: %v", err)
+	}
+	h2 := res2.Workspace
+
+	got, _, rerr := rec.Repair(ctx, h2)
+	if rerr != nil {
+		t.Fatalf("repair against twice-moved head: %v", rerr)
+	}
+	serial, err := h2.Exec(srcA)
+	if err != nil {
+		t.Fatalf("serial oracle: %v", err)
+	}
+	assertHeadsEqual(t, "twice-moved head", got.Workspace, serial.Workspace)
+
+	// A winner that installed a block changed the compiled program: the
+	// record's stratum structure no longer matches, so repair declines.
+	svars := make([]string, p.arities[x])
+	for k := range svars {
+		svars[k] = fmt.Sprintf("s%d", k)
+	}
+	h3, err := h2.AddBlock("extra", fmt.Sprintf("zz9(%s) <- %s(%s).\n",
+		strings.Join(svars, ", "), x, strings.Join(svars, ", ")))
+	if err != nil {
+		t.Fatalf("addblock: %v", err)
+	}
+	if _, _, rerr := rec.Repair(ctx, h3); !errors.Is(rerr, core.ErrRepairNotApplicable) {
+		t.Fatalf("schema changed under the record; want ErrRepairNotApplicable, got %v", rerr)
+	}
+}

@@ -239,10 +239,13 @@ func (m *Maintainer) recountRule(r *compiler.RulePlan, pending map[string]map[st
 		return err
 	}
 	prev := m.ruleCounts[r.ID]
-	// Retract old counts, add new ones, via adjust to keep pending in sync.
-	for k, rec := range prev {
-		_ = k
-		for i := 0; i < rec.n; i++ {
+	// Retract old counts, add new ones, via adjust to keep pending in
+	// sync. The retraction bound must be snapshotted: adjust decrements
+	// rec.n itself (prev is the live per-rule count map), so looping on
+	// rec.n directly would stop halfway and leave stale support behind.
+	for _, rec := range prev {
+		n := rec.n
+		for i := 0; i < n; i++ {
 			m.adjust(r, rec.t, -1, pending)
 		}
 	}

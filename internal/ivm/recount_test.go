@@ -1,0 +1,40 @@
+package ivm
+
+import (
+	"testing"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// TestRecountRetractsAllDerivations pins a bug the differential harness
+// found once its generator grew negation: recountRule (the counting
+// mode's fallback when a negated dependency changes) retracted old
+// derivation counts in a loop bounded by rec.n — but adjust decrements
+// rec.n itself, so the loop stopped halfway. A head tuple with 2+
+// derivations kept stale support after the recount and survived in the
+// view although no derivation remained.
+func TestRecountRetractsAllDerivations(t *testing.T) {
+	src := `d(x) <- p(x, y), !q(x).`
+	prog := mustProgram(t, src)
+	base := map[string]relation.Relation{
+		// d(1) has two derivations (y = 1 and y = 2).
+		"p": relation.FromTuples(2, []tuple.Tuple{tuple.Ints(1, 1), tuple.Ints(1, 2)}),
+		"q": relation.New(1),
+	}
+	m, err := NewMaintainer(prog, cloneBase(base), Counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Relation("d"); got.Len() != 1 || !got.Contains(tuple.Ints(1)) {
+		t.Fatalf("initial d = %v, want {(1)}", got.Slice())
+	}
+	// Inserting q(1) changes a negated dependency, forcing a recount in
+	// which d(1) has zero derivations left: both old counts must retract.
+	if _, err := m.Apply(map[string]Delta{"q": {Ins: []tuple.Tuple{tuple.Ints(1)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Relation("d"); got.Len() != 0 {
+		t.Fatalf("after q(1): d = %v, want empty (stale support survived the recount)", got.Slice())
+	}
+}

@@ -301,6 +301,17 @@ func (x *SensitivityIndex) Intervals(pred string) []Interval {
 	return ivs
 }
 
+// Counts returns the number of recorded intervals per predicate — the
+// per-evaluation read-set summary that transaction repair (paper §3.4)
+// reports alongside its intersection outcome.
+func (x *SensitivityIndex) Counts() map[string]int {
+	out := make(map[string]int, len(x.byPred))
+	for p, ivs := range x.byPred {
+		out[p] = len(ivs)
+	}
+	return out
+}
+
 // Preds returns the predicates with recorded intervals, sorted.
 func (x *SensitivityIndex) Preds() []string {
 	var out []string

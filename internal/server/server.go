@@ -71,6 +71,13 @@ type Config struct {
 	// MaxRetries bounds optimistic re-executions after commit conflicts
 	// before the request surfaces 409 (default: 3).
 	MaxRetries int
+	// DisableRepair turns off fine-grained transaction repair (paper
+	// §3.4): execs run without recording read intervals, and every lost
+	// commit race falls back to full re-execution. The default (repair
+	// on) records sensitivity intervals per reactive stratum during exec
+	// and, on conflict, re-derives only the strata whose reads intersect
+	// the winner's writes.
+	DisableRepair bool
 	// Obs receives all server and engine metrics (default: a fresh
 	// registry).
 	Obs *obs.Registry
@@ -215,8 +222,12 @@ func (s *Server) commitTxn(branch string, parent, ws *core.Workspace, rec core.C
 }
 
 // handleExec runs an exec transaction through the optimistic-commit
-// loop: execute on the branch-head snapshot, CommitIf, and on a lost
-// race re-execute against the new head.
+// loop: execute on the branch-head snapshot (recording read intervals
+// unless repair is disabled), CommitIf, and on a lost race first try to
+// repair the recorded transaction against the new head — re-deriving
+// only the strata whose reads intersect the winner's writes (paper
+// §3.4) — falling back to full re-execution when the record does not
+// apply.
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	r, cancel, ok := s.decode(w, r, &req)
@@ -224,22 +235,29 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	retries := 0
-	for {
+	execute := func() (*core.Workspace, *core.ExecResult, *core.ExecRecord, error) {
 		head, err := s.Database().Workspace(req.Branch)
 		if err != nil {
-			s.writeError(w, r, err)
-			return
+			return nil, nil, nil, err
 		}
-		res, err := head.WithObserver(s.reg).ExecCtx(r.Context(), req.Src)
-		if err != nil {
-			s.writeError(w, r, err)
-			return
+		if s.cfg.DisableRepair {
+			res, err := head.WithObserver(s.reg).ExecCtx(r.Context(), req.Src)
+			return head, res, nil, err
 		}
+		res, rec, err := head.WithObserver(s.reg).ExecRecordedCtx(r.Context(), req.Src)
+		return head, res, rec, err
+	}
+	retries, repairs := 0, 0
+	head, res, rec, err := execute()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	for {
 		version := res.Workspace.Version()
 		if res.Workspace == head || len(res.BaseDeltas) == 0 {
 			// No-op transaction: nothing to commit.
-			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: version, Retries: retries, Trace: s.inlineTrace(r)})
+			writeJSON(w, http.StatusOK, ExecResponse{OK: true, Branch: req.Branch, Version: version, Retries: retries, Repairs: repairs, Trace: s.inlineTrace(r)})
 			return
 		}
 		err = s.commitTxn(req.Branch, head, res.Workspace, core.CommitRecord{Kind: "exec", Src: req.Src})
@@ -247,7 +265,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 			s.reg.Counter("server.commits").Inc()
 			writeJSON(w, http.StatusOK, ExecResponse{
 				OK: true, Branch: req.Branch, Version: version,
-				Retries: retries, Deltas: deltasJSON(res.BaseDeltas),
+				Retries: retries, Repairs: repairs, Deltas: deltasJSON(res.BaseDeltas),
 				Trace: s.inlineTrace(r),
 			})
 			return
@@ -255,7 +273,25 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, core.ErrConflict) && retries < s.cfg.MaxRetries && r.Context().Err() == nil {
 			retries++
 			s.reg.Counter("server.commit.retries").Inc()
+			if rec != nil {
+				newHead, werr := s.Database().Workspace(req.Branch)
+				if werr == nil && newHead != head {
+					if res2, _, rerr := rec.Repair(r.Context(), newHead.WithObserver(s.reg)); rerr == nil {
+						repairs++
+						s.reg.Counter("server.commit.repairs").Inc()
+						head, res = newHead, res2
+						continue
+					}
+				}
+			}
+			// Coarse fallback: full re-execution against the new head.
+			s.reg.Counter("server.commit.full_reexecs").Inc()
 			backoffConflict(r.Context(), retries)
+			head, res, rec, err = execute()
+			if err != nil {
+				s.writeError(w, r, err)
+				return
+			}
 			continue
 		}
 		s.reg.Counter("server.commit.conflicts").Inc()

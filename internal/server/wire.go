@@ -73,8 +73,11 @@ type ExecResponse struct {
 	OK      bool   `json:"ok"`
 	Branch  string `json:"branch"`
 	Version uint64 `json:"version"`
-	// Retries counts optimistic re-executions after commit conflicts.
+	// Retries counts commit conflicts the transaction survived; Repairs
+	// counts how many of them were resolved by fine-grained repair
+	// (paper §3.4) rather than full re-execution.
 	Retries int              `json:"retries,omitempty"`
+	Repairs int              `json:"repairs,omitempty"`
 	Deltas  map[string]Delta `json:"deltas,omitempty"`
 	// Trace is the request's span tree so far, inlined when the request
 	// was made with ?trace=1.
