@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke repair-test
+.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke repair-test stream-test
 
-ci: fmt-check lint build race difftest serve-test durable-test repair-test bench-smoke
+ci: fmt-check lint build race difftest serve-test durable-test repair-test bench-smoke stream-test
 
 # The static-analysis gate: go vet plus the repository's own analyzer
-# suite (immutable, errwrap, ctxloop, obssafe — see docs/analysis.md).
+# suite (immutable, errwrap, ctxloop, obssafe, cursorclose — see
+# docs/analysis.md).
 # The suite has no suppression mechanism; the tree must be clean.
 lint: vet
 	$(GO) run ./cmd/lb-lint ./...
@@ -54,6 +55,15 @@ fmt-check:
 # race and the repair-vs-coarse contention benchmark — race-detector on.
 repair-test:
 	$(GO) test -race -run 'TestRepair|TestServerRepairDisjointWriters|TestContentionRepairVsCoarse' -count=1 ./internal/engine/ ./internal/server/
+
+# The streaming-query suite, pull cursor to wire: LFTJ iterator parity
+# and early close, engine/core cursor equivalence with the materialized
+# path, NDJSON framing and trailing summary, pagination exactly-once
+# against a pinned snapshot, disconnect releasing the worker slot, and
+# the constant-memory assertion (STREAM_MEM_N rows; see EXPERIMENTS.md
+# for the recorded 1M-row run) — race-detector on.
+stream-test:
+	$(GO) test -race -run 'TestIter|TestStreamRule|TestQueryStream|TestQueryPagination|TestQueryCursorErrors|TestQueryDefaultLimit|TestQueryMaxResultBytes|TestStreamDisconnectReleasesWorker|TestV1Aliases|TestAppendRowJSON|TestStreamConstantMemory|TestBenchStream' -count=1 ./internal/lftj/ ./internal/engine/ ./internal/core/ ./internal/server/ ./internal/bench/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

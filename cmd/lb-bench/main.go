@@ -12,7 +12,14 @@
 //	lb-bench [-url http://127.0.0.1:8080] [-seed 1] [-mode closed|open]
 //	         [-c 8] [-rate 200] [-ops 1000] [-duration 0]
 //	         [-read-frac 0.5] [-keys 64] [-hot-frac 0.5] [-branches 1]
-//	         [-queue-sample 100ms] [-setup] [-out report.json]
+//	         [-stream] [-scan-frac 0] [-queue-sample 100ms] [-setup]
+//	         [-out report.json]
+//
+// With -stream, query operations use the chunked NDJSON response and
+// the report totals rows/bytes received; -scan-frac makes that fraction
+// of queries full scans, whose result sizes make the streamed vs
+// materialized memory difference visible in the sampled go.heap_inuse
+// gauge.
 package main
 
 import (
@@ -38,7 +45,9 @@ func main() {
 	keys := flag.Int("keys", 64, "key-space size")
 	hotFrac := flag.Float64("hot-frac", 0.5, "probability an op targets the hot key subset")
 	branches := flag.Int("branches", 1, "fan ops out across this many branches")
-	queueSample := flag.Duration("queue-sample", 100*time.Millisecond, "queue-depth polling period (0 disables)")
+	stream := flag.Bool("stream", false, "queries use the chunked NDJSON streaming response")
+	scanFrac := flag.Float64("scan-frac", 0, "fraction of queries that scan the whole relation")
+	queueSample := flag.Duration("queue-sample", 100*time.Millisecond, "queue-depth/heap gauge polling period (0 disables)")
 	setup := flag.Bool("setup", true, "install the bench schema and branches before running")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	flag.Parse()
@@ -55,6 +64,8 @@ func main() {
 		Keys:        *keys,
 		HotFrac:     *hotFrac,
 		Branches:    *branches,
+		Stream:      *stream,
+		ScanFrac:    *scanFrac,
 		QueueSample: *queueSample,
 	}}
 

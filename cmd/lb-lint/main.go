@@ -3,8 +3,9 @@
 // Two modes:
 //
 //	lb-lint [packages...]
-//	    Run the Go analyzers (immutable, errwrap, ctxloop, obssafe)
-//	    over the given package patterns (default ./...). Any finding is
+//	    Run the Go analyzers (immutable, errwrap, ctxloop, obssafe,
+//	    cursorclose) over the given package patterns (default ./...).
+//	    Any finding is
 //	    an error: the suite has no suppression mechanism, so the exit
 //	    status is 1 unless the tree is clean.
 //

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lb-serve [-addr :8080] [-workers N] [-queue N] [-timeout 30s]
-//	         [-retries 3] [-adaptive-opt]
+//	         [-retries 3] [-default-limit N] [-adaptive-opt]
 //	         [-access-log stderr|stdout|file] [-slow-query 500ms]
 //	         [-trace-sample N] [-debug-addr :6060]
 //	         [-data-dir dir [-fsync always|interval] [-fsync-interval 50ms]
@@ -58,6 +58,7 @@ func main() {
 	queue := flag.Int("queue", 0, "max requests waiting for a worker before 503 (0 = 64)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	retries := flag.Int("retries", 3, "max optimistic re-executions after commit conflicts")
+	defaultLimit := flag.Int("default-limit", 0, "default row cap on materialized /query responses (0 = 10000, negative = uncapped; explicit limit in the request always wins)")
 	noRepair := flag.Bool("no-repair", false, "disable fine-grained transaction repair on conflict (every lost race re-executes fully)")
 	adaptive := flag.Bool("adaptive-opt", false, "feedback-driven join-order optimization with a cached plan store")
 	snapshot := flag.String("snapshot", "", "load the database from this file at startup and save it on shutdown (no journaling; see -data-dir)")
@@ -113,6 +114,7 @@ func main() {
 		Queue:         *queue,
 		Timeout:       *timeout,
 		MaxRetries:    *retries,
+		DefaultLimit:  *defaultLimit,
 		DisableRepair: *noRepair,
 		Obs:           reg,
 		Durable:       store,

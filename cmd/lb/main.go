@@ -48,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"errors"
 	"flag"
@@ -417,15 +418,25 @@ func (r *repl) query(src string) {
 	r.beginTx()
 	defer r.profile()
 	ws := must(r.db.Workspace(r.branch))
-	rows, err := ws.Query(src)
+	// Pull-based: rows print as the join iterators produce them, so a
+	// huge answer starts appearing immediately and is never buffered.
+	cur, err := ws.QueryStream(context.Background(), src)
 	if err != nil {
 		fmt.Fprintln(r.out, "error:", err)
 		return
 	}
-	for _, row := range rows {
+	n := 0
+	for row, ok := cur.Next(); ok; row, ok = cur.Next() {
 		fmt.Fprintln(r.out, " ", row)
+		n++
 	}
-	fmt.Fprintf(r.out, "  (%d rows)\n", len(rows))
+	err = cur.Err()
+	cur.Close()
+	if err != nil {
+		fmt.Fprintln(r.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(r.out, "  (%d rows)\n", n)
 }
 
 // importCSV bulk-loads a base predicate from a CSV file. Each cell is

@@ -111,6 +111,10 @@ func TestObssafeAnalyzer(t *testing.T) {
 	checkFixture(t, ObssafeAnalyzer, "obs", "obsuser")
 }
 
+func TestCursorcloseAnalyzer(t *testing.T) {
+	checkFixture(t, CursorcloseAnalyzer, "cursor")
+}
+
 // TestLoadRealPackage loads a real repository package with its stdlib
 // imports resolved through export data.
 func TestLoadRealPackage(t *testing.T) {

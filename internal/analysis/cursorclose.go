@@ -1,0 +1,117 @@
+package analysis
+
+import "go/ast"
+
+// cursorConstructors names the methods whose result owns a pinned
+// snapshot and a live iterator chain and therefore must be released
+// with Close: the workspace's streaming query entry point and the
+// engine's per-rule pull cursor. A leaked cursor keeps its snapshot
+// version (and the abort/commit accounting) alive until GC, so every
+// call site must either Close the cursor on all paths or hand it to a
+// caller who will.
+var cursorConstructors = map[string]bool{
+	"QueryStream": true,
+	"StreamRule":  true,
+}
+
+// CursorcloseAnalyzer reports call sites of the streaming-cursor
+// constructors whose result is discarded, or bound to a local variable
+// that is never Closed and never escapes the function (returned, stored,
+// or passed along — any bare use of the variable outside a method call
+// counts as an escape, conservatively).
+var CursorcloseAnalyzer = &Analyzer{
+	Name: "cursorclose",
+	Doc:  "flag streaming cursors that are never closed and never escape",
+	Run:  runCursorclose,
+}
+
+func runCursorclose(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCursorFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkCursorFunc examines one function body (closures included — a
+// Close inside a deferred literal still releases the cursor) for
+// constructor calls and verifies each result is released or escapes.
+func checkCursorFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && cursorConstructors[calleeName(call)] {
+				pass.Reportf(call.Pos(),
+					"cursor returned by %s is discarded; Close it to release the pinned snapshot", calleeName(call))
+			}
+		case *ast.AssignStmt:
+			if len(stmt.Rhs) != 1 {
+				return true
+			}
+			call, ok := stmt.Rhs[0].(*ast.CallExpr)
+			if !ok || !cursorConstructors[calleeName(call)] {
+				return true
+			}
+			id, ok := ast.Unparen(stmt.Lhs[0]).(*ast.Ident)
+			if !ok {
+				// Stored straight into a field or element: escapes.
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"cursor returned by %s is discarded; Close it to release the pinned snapshot", calleeName(call))
+				return true
+			}
+			closed, escapes := cursorReleased(body, id.Name, stmt)
+			if !closed && !escapes {
+				pass.Reportf(call.Pos(),
+					"cursor %s returned by %s is never closed in this function and does not escape; defer %s.Close() to release the pinned snapshot",
+					id.Name, calleeName(call), id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// cursorReleased scans the function body for what happens to the cursor
+// variable after its defining assignment: a <name>.Close() call counts
+// as released, and any bare use of the identifier outside a selector
+// (returned, passed as an argument, stored in a composite literal or
+// another variable) counts as an escape — ownership moved, so this
+// function is no longer responsible for closing.
+func cursorReleased(body *ast.BlockStmt, name string, def *ast.AssignStmt) (closed, escapes bool) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			if e == def {
+				// The defining LHS is a definition, not a use; only the
+				// RHS (the constructor call's own arguments) is scanned.
+				for _, r := range e.Rhs {
+					ast.Inspect(r, visit)
+				}
+				return false
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && id.Name == name {
+				if e.Sel.Name == "Close" {
+					closed = true
+				}
+				// Method calls and field reads are plain uses.
+				return false
+			}
+		case *ast.Ident:
+			if e.Name == name {
+				escapes = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return closed, escapes
+}

@@ -1,0 +1,100 @@
+// Package cursor is a cursorclose-analyzer fixture: streaming cursors
+// opened here must be closed in-function or escape to a caller.
+package cursor
+
+import "context"
+
+type Cursor struct{}
+
+func (c *Cursor) Next() bool   { return false }
+func (c *Cursor) Err() error   { return nil }
+func (c *Cursor) Close() error { return nil }
+
+type Workspace struct{}
+
+func (w *Workspace) QueryStream(ctx context.Context, src string) (*Cursor, error) {
+	return &Cursor{}, nil
+}
+
+type Engine struct{}
+
+func (e *Engine) StreamRule(i int) *Cursor { return &Cursor{} }
+
+func badLeak(ws *Workspace) error {
+	cur, err := ws.QueryStream(context.Background(), "q") // want: never closed
+	if err != nil {
+		return err
+	}
+	for cur.Next() {
+	}
+	return cur.Err()
+}
+
+func badDiscard(ws *Workspace) {
+	ws.QueryStream(context.Background(), "q") // want: discarded
+}
+
+func badBlank(ws *Workspace) error {
+	_, err := ws.QueryStream(context.Background(), "q") // want: discarded
+	return err
+}
+
+func badStream(e *Engine) {
+	cur := e.StreamRule(0) // want: never closed
+	for cur.Next() {
+	}
+}
+
+func okDefer(ws *Workspace) error {
+	cur, err := ws.QueryStream(context.Background(), "q")
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	for cur.Next() {
+	}
+	return cur.Err()
+}
+
+func okExplicit(e *Engine) {
+	cur := e.StreamRule(1)
+	for cur.Next() {
+	}
+	cur.Close()
+}
+
+func okEscapeReturn(ws *Workspace) (*Cursor, error) {
+	return ws.QueryStream(context.Background(), "q")
+}
+
+func okEscapeVarReturn(e *Engine) *Cursor {
+	cur := e.StreamRule(2)
+	return cur
+}
+
+func okEscapePass(e *Engine, drain func(*Cursor)) {
+	cur := e.StreamRule(3)
+	drain(cur)
+}
+
+type holder struct{ cur *Cursor }
+
+func okEscapeStore(e *Engine) *holder {
+	h := &holder{}
+	h.cur = e.StreamRule(4)
+	return h
+}
+
+func okEscapeComposite(e *Engine) *holder {
+	cur := e.StreamRule(5)
+	return &holder{cur: cur}
+}
+
+func okClosureClose(ws *Workspace) error {
+	cur, err := ws.QueryStream(context.Background(), "q")
+	if err != nil {
+		return err
+	}
+	defer func() { cur.Close() }()
+	return cur.Err()
+}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -60,9 +61,19 @@ type Config struct {
 	// Branches fans operations out across this many branches: "main"
 	// plus bench-1..bench-(n-1) created at setup.
 	Branches int `json:"branches"`
-	// QueueSample is the /debug/vars queue-depth polling period
-	// (0 disables sampling).
+	// QueueSample is the /debug/vars queue-depth and heap-gauge polling
+	// period (0 disables sampling).
 	QueueSample time.Duration `json:"queue_sample,omitempty"`
+	// Stream makes query operations use the chunked NDJSON response
+	// (POST /query with stream), counting rows as they arrive, instead
+	// of the materialized JSON envelope.
+	Stream bool `json:"stream,omitempty"`
+	// ScanFrac is the fraction of query operations that scan the whole
+	// hit relation (`_(k, v) <- hit(k, v).`) instead of a point lookup
+	// — result sizes that make the streamed/materialized memory
+	// difference visible. Drawn from a separate PRNG stream so setting
+	// it does not perturb the op sequence of existing seeds.
+	ScanFrac float64 `json:"scan_frac,omitempty"`
 }
 
 func (c *Config) withDefaults() Config {
@@ -84,6 +95,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.HotFrac < 0 || cfg.HotFrac > 1 {
 		cfg.HotFrac = 0
+	}
+	if cfg.ScanFrac < 0 || cfg.ScanFrac > 1 {
+		cfg.ScanFrac = 0
 	}
 	if cfg.Branches <= 0 {
 		cfg.Branches = 1
@@ -107,6 +121,11 @@ type Op struct {
 	Branch string `json:"branch"`
 	// Arrival is the open-loop offset from the run start.
 	Arrival time.Duration `json:"arrival,omitempty"`
+	// Scan marks a query op as a full relation scan (see
+	// Config.ScanFrac).
+	Scan bool `json:"scan,omitempty"`
+	// Stream marks a query op as NDJSON-streamed (Config.Stream).
+	Stream bool `json:"stream,omitempty"`
 }
 
 // branchName returns the branch for fan-out index i (0 is main).
@@ -123,6 +142,9 @@ func branchName(i int) string {
 func GenOps(c Config) []Op {
 	cfg := c.withDefaults()
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	// Scan decisions come from their own stream so that a nonzero
+	// ScanFrac leaves the op sequence of an existing seed untouched.
+	scanRng := rand.New(rand.NewPCG(cfg.Seed^0x5ca9f0ac, cfg.Seed+0x61c88647))
 	hot := cfg.Keys / 8
 	if hot < 1 {
 		hot = 1
@@ -133,6 +155,8 @@ func GenOps(c Config) []Op {
 		op := Op{Branch: branchName(rng.IntN(cfg.Branches))}
 		if rng.Float64() < cfg.ReadFrac {
 			op.Kind = "query"
+			op.Stream = cfg.Stream
+			op.Scan = cfg.ScanFrac > 0 && scanRng.Float64() < cfg.ScanFrac
 		} else {
 			op.Kind = "exec"
 			op.Value = i + 1
@@ -166,7 +190,18 @@ link(j, k) <- hit(j, v), hit(k, w), v < w.
 func (op Op) request() (path string, body map[string]any) {
 	body = map[string]any{"branch": op.Branch}
 	if op.Kind == "query" {
-		body["src"] = fmt.Sprintf("_(v) <- hit(%d, v).", op.Key)
+		if op.Scan {
+			body["src"] = "_(k, v) <- hit(k, v)."
+			// Uncap scans explicitly so streamed and materialized runs
+			// transfer the same rows (the server default-caps
+			// materialized responses).
+			body["limit"] = 0
+		} else {
+			body["src"] = fmt.Sprintf("_(v) <- hit(%d, v).", op.Key)
+		}
+		if op.Stream {
+			body["stream"] = true
+		}
 		return "/query", body
 	}
 	body["src"] = fmt.Sprintf("+hit(%d, %d).", op.Key, op.Value)
@@ -179,6 +214,8 @@ type sample struct {
 	latency  time.Duration
 	status   int
 	retries  int
+	rows     int64
+	bytes    int64
 }
 
 // EndpointStats is the per-endpoint latency/throughput summary. All
@@ -216,6 +253,15 @@ type Report struct {
 	// QueueDepth holds the polled server.queue.depth gauge samples.
 	QueueDepth    []int64 `json:"queue_depth,omitempty"`
 	QueueDepthMax int64   `json:"queue_depth_max"`
+	// StreamRows/StreamBytes total the NDJSON rows and payload bytes
+	// received by streamed query ops.
+	StreamRows  int64 `json:"stream_rows,omitempty"`
+	StreamBytes int64 `json:"stream_bytes,omitempty"`
+	// HeapInuse holds polled go.heap_inuse gauge samples (bytes) from
+	// /debug/vars, taken together with the queue-depth samples — the
+	// server-side memory profile of the run.
+	HeapInuse    []int64 `json:"heap_inuse,omitempty"`
+	HeapInuseMax int64   `json:"heap_inuse_max,omitempty"`
 }
 
 // Runner drives one benchmark run against a live server.
@@ -289,6 +335,9 @@ type execAnswer struct {
 // runOp performs one operation and returns its sample.
 func (r *Runner) runOp(c *http.Client, base string, op Op) sample {
 	path, body := op.request()
+	if op.Stream && op.Kind == "query" {
+		return r.runStreamOp(c, base, path, body)
+	}
 	t0 := time.Now()
 	var ans execAnswer
 	status, err := r.post(c, base, path, body, &ans)
@@ -298,6 +347,59 @@ func (r *Runner) runOp(c *http.Client, base string, op Op) sample {
 		status = 599
 	}
 	return sample{endpoint: path[1:], latency: lat, status: status, retries: ans.Retries}
+}
+
+// runStreamOp drives one NDJSON-streamed query: rows are consumed line
+// by line as they arrive and only the trailing summary is decoded. The
+// latency covers the full stream (first byte to summary). A summary
+// reporting a mid-stream failure counts like a 5xx (the HTTP status was
+// already committed as 200 when it happened).
+func (r *Runner) runStreamOp(c *http.Client, base, path string, body map[string]any) sample {
+	s := sample{endpoint: "query.stream"}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		s.status = 599
+		return s
+	}
+	t0 := time.Now()
+	resp, err := c.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		s.status = 599
+		s.latency = time.Since(t0)
+		return s
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.latency = time.Since(t0)
+		return s
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var last []byte
+	for sc.Scan() {
+		line := sc.Bytes()
+		s.bytes += int64(len(line)) + 1
+		last = append(last[:0], line...)
+	}
+	s.latency = time.Since(t0)
+	if sc.Err() != nil || last == nil {
+		s.status = 599
+		return s
+	}
+	var trailer struct {
+		Summary *struct {
+			OK   bool  `json:"ok"`
+			Rows int64 `json:"rows"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(last, &trailer); err != nil || trailer.Summary == nil || !trailer.Summary.OK {
+		s.status = 599
+		return s
+	}
+	s.rows = trailer.Summary.Rows
+	return s
 }
 
 // Run executes the generated operation sequence and builds the report.
@@ -311,10 +413,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		defer cancel()
 	}
 
-	// Queue-depth sampler, polling /debug/vars on its own goroutine.
+	// Gauge sampler (queue depth + heap in use), polling /debug/vars on
+	// its own goroutine.
 	var (
 		depthMu sync.Mutex
 		depths  []int64
+		heaps   []int64
 	)
 	sampleCtx, stopSampling := context.WithCancel(ctx)
 	var samplerDone chan struct{}
@@ -329,9 +433,10 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				case <-sampleCtx.Done():
 					return
 				case <-tick.C:
-					if d, ok := queueDepth(c, cfg.BaseURL); ok {
+					if g, ok := serverGauges(c, cfg.BaseURL); ok {
 						depthMu.Lock()
-						depths = append(depths, d)
+						depths = append(depths, g["server.queue.depth"])
+						heaps = append(heaps, g["go.heap_inuse"])
 						depthMu.Unlock()
 					}
 				}
@@ -356,7 +461,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 
 	depthMu.Lock()
 	defer depthMu.Unlock()
-	return buildReport(cfg, elapsed, samples[:done], depths), nil
+	return buildReport(cfg, elapsed, samples[:done], depths, heaps), nil
 }
 
 // runClosed drives the op sequence with a fixed worker pool: each worker
@@ -442,21 +547,21 @@ launch:
 	return done
 }
 
-// queueDepth reads the server.queue.depth gauge from /debug/vars.
-func queueDepth(c *http.Client, base string) (int64, bool) {
+// serverGauges reads the gauge map from /debug/vars (each GET also
+// makes the server refresh them, including go.heap_inuse).
+func serverGauges(c *http.Client, base string) (map[string]int64, bool) {
 	resp, err := c.Get(base + "/debug/vars")
 	if err != nil {
-		return 0, false
+		return nil, false
 	}
 	defer resp.Body.Close()
 	var doc struct {
 		Gauges map[string]int64 `json:"gauges"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return 0, false
+		return nil, false
 	}
-	d, ok := doc.Gauges["server.queue.depth"]
-	return d, ok
+	return doc.Gauges, doc.Gauges != nil
 }
 
 // percentile returns the exact q-quantile of sorted (nearest-rank).
@@ -476,7 +581,7 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths []int64) *Report {
+func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths, heaps []int64) *Report {
 	rep := &Report{
 		Config:       cfg,
 		ElapsedMs:    ms(elapsed),
@@ -484,6 +589,7 @@ func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths []i
 		Endpoints:    make(map[string]EndpointStats),
 		StatusCounts: make(map[int]int),
 		QueueDepth:   depths,
+		HeapInuse:    heaps,
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(len(samples)) / elapsed.Seconds()
@@ -493,6 +599,8 @@ func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths []i
 		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
 		rep.StatusCounts[s.status]++
 		rep.Retries += s.retries
+		rep.StreamRows += s.rows
+		rep.StreamBytes += s.bytes
 		switch {
 		case s.status == http.StatusConflict:
 			rep.Conflicts++
@@ -525,6 +633,11 @@ func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths []i
 	for _, d := range depths {
 		if d > rep.QueueDepthMax {
 			rep.QueueDepthMax = d
+		}
+	}
+	for _, h := range heaps {
+		if h > rep.HeapInuseMax {
+			rep.HeapInuseMax = h
 		}
 	}
 	return rep

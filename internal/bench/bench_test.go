@@ -145,3 +145,68 @@ func TestBenchSmoke(t *testing.T) {
 		t.Fatalf("no contention evidence: %+v", rep)
 	}
 }
+
+// TestBenchStream: with Stream set, query ops consume the NDJSON
+// response (accounted under the query.stream endpoint with row/byte
+// totals) and scan ops transfer full relations; the gauge sampler picks
+// up the server's heap profile alongside queue depth.
+func TestBenchStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := server.New(core.NewDatabase(), server.Config{Workers: 4, Obs: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	r := &Runner{
+		Config: Config{
+			BaseURL:     ts.URL,
+			Seed:        7,
+			Mode:        ModeClosed,
+			Concurrency: 4,
+			Ops:         200,
+			Keys:        16,
+			ReadFrac:    0.6,
+			Stream:      true,
+			ScanFrac:    0.5,
+			QueueSample: time.Millisecond,
+		},
+		Client: ts.Client(),
+	}
+	if err := r.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("Errors5xx = %d, statuses %v", rep.Errors5xx, rep.StatusCounts)
+	}
+	st, ok := rep.Endpoints["query.stream"]
+	if !ok || st.Count == 0 {
+		t.Fatalf("no query.stream samples: %v", rep.Endpoints)
+	}
+	if _, ok := rep.Endpoints["query"]; ok {
+		t.Fatalf("streamed run still produced materialized query samples: %v", rep.Endpoints)
+	}
+	if rep.StreamBytes <= 0 {
+		t.Fatalf("stream bytes = %d", rep.StreamBytes)
+	}
+	if got := reg.Counter("server.query.streamed").Value(); got != int64(st.Count) {
+		t.Fatalf("server.query.streamed = %d, client saw %d", got, st.Count)
+	}
+	if len(rep.HeapInuse) == 0 || rep.HeapInuseMax <= 0 {
+		t.Fatalf("no heap samples: len=%d max=%d", len(rep.HeapInuse), rep.HeapInuseMax)
+	}
+
+	// ScanFrac must not perturb the op sequence of an existing seed.
+	plain := Config{Seed: 7, Ops: 200, Keys: 16, ReadFrac: 0.6}
+	scanning := plain
+	scanning.ScanFrac = 0.5
+	a, b := GenOps(plain), GenOps(scanning)
+	for i := range a {
+		b[i].Scan = false
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("op %d diverged once ScanFrac was set: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

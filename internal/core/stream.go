@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/engine"
+	"logicblox/internal/obs"
+	"logicblox/internal/parser"
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// Cursor is a pull cursor over a query's answer tuples, in the exact
+// order (and with the exact set semantics) that Query returns them:
+// lexicographically sorted, duplicates removed. For streaming-eligible
+// programs the tuples are pipelined one at a time out of the LFTJ join
+// iterators without ever materializing the answer relation; otherwise an
+// internal materialized cursor serves the same sequence, so the API is
+// total. A Cursor holds the branch snapshot (and, on the fast path, open
+// trie iterators) until Close — always Close it, on every path.
+type Cursor struct {
+	rctx     context.Context
+	sp       *obs.Span   // transaction span; ended by done
+	esp      *obs.Span   // eval span held open while streaming (nil on fallback)
+	done     func(error) // records tx.<kind>.commit/.abort; set by the opener
+	rc       *engine.RuleCursor
+	mat      *relation.Cursor
+	prev     tuple.Tuple // last emitted tuple, for adjacent dedup (fast path)
+	hint     int         // result-size hint (fallback path: exact)
+	rows     int64
+	err      error
+	streamed bool
+	closed   bool
+}
+
+// Next returns the next answer tuple; ok=false means exhaustion or error
+// (check Err after the loop). Tuples are yielded in ascending
+// lexicographic order with no duplicates — byte-identical to the sequence
+// Query would return.
+func (c *Cursor) Next() (t tuple.Tuple, ok bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	if c.mat != nil {
+		t, ok := c.mat.Next()
+		if !ok {
+			return nil, false
+		}
+		c.rows++
+		return t, true
+	}
+	for {
+		if err := c.rctx.Err(); err != nil {
+			c.err = err
+			return nil, false
+		}
+		t, ok := c.rc.Next()
+		if !ok {
+			c.err = c.rc.Err()
+			return nil, false
+		}
+		// The streaming plan enumerates head-variable-first, so the
+		// projected heads arrive sorted and duplicates are adjacent.
+		if c.prev != nil && c.prev.Equal(t) {
+			continue
+		}
+		c.prev = t
+		c.rows++
+		return t, true
+	}
+}
+
+// Err returns the first error the cursor hit (nil after clean
+// exhaustion). Cancellation of the context passed to QueryStream
+// surfaces here.
+func (c *Cursor) Err() error { return c.err }
+
+// Rows returns the number of answer tuples yielded so far.
+func (c *Cursor) Rows() int64 { return c.rows }
+
+// Streamed reports whether answers are pipelined straight out of the
+// join iterators (true) or served from an internally materialized
+// relation (false: recursive/aggregating programs, or answers already
+// derived in the workspace).
+func (c *Cursor) Streamed() bool { return c.streamed }
+
+// Close releases the cursor: join iterators unwound, spans ended, the
+// transaction outcome recorded (abort when the cursor erred or its
+// context was cancelled — e.g. a client disconnect mid-stream).
+// Idempotent; safe on every path.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.rc != nil {
+		c.rc.Close()
+	}
+	err := c.err
+	if err == nil && c.rctx != nil {
+		err = c.rctx.Err()
+	}
+	if c.esp != nil {
+		c.esp.End()
+	}
+	if c.sp != nil {
+		c.sp.SetAttr("answers", c.rows)
+		if c.streamed {
+			c.sp.SetAttr("streamed", 1)
+		}
+	}
+	if c.done != nil {
+		c.done(err)
+	}
+}
+
+// QueryStream runs a read-only query transaction as a pull cursor: src
+// is a program with a designated answer predicate "_" (plus auxiliary
+// rules), exactly as for Query. Auxiliary strata are materialized up
+// front; the answer rule itself is pipelined when the program shape
+// allows (see Cursor.Streamed). The transaction's span kind is
+// tx.query.stream, and its commit/abort is recorded when the cursor is
+// Closed — not when this call returns.
+func (ws *Workspace) QueryStream(rctx context.Context, src string) (*Cursor, error) {
+	sp, done := ws.txSpan(rctx, "query.stream")
+	cur, err := ws.openCursor(rctx, src, sp)
+	if err != nil {
+		done(err)
+		return nil, err
+	}
+	cur.sp, cur.done = sp, done
+	return cur, nil
+}
+
+// openCursor parses, compiles, and evaluates a query program, returning
+// a cursor over the answers. The caller owns the transaction span; the
+// cursor ends only its internal eval span.
+func (ws *Workspace) openCursor(rctx context.Context, src string, sp *obs.Span) (*Cursor, error) {
+	psp := sp.Child("parse")
+	qprog, err := parser.Parse(src)
+	psp.End()
+	if err != nil {
+		return nil, fmt.Errorf("query %w: %w", ErrParse, err)
+	}
+	csp := sp.Child("compile")
+	combined, err := compileBlocks(ws.parsedBlocks(), qprog)
+	csp.End()
+	if err != nil {
+		return nil, fmt.Errorf("query %w: %w", ErrTypecheck, err)
+	}
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer(), Ctx: rctx})
+	esp := sp.Child("eval")
+	ctx.SetSpan(esp)
+	answer := ws.streamableAnswer(combined)
+	// Evaluate only predicates that are not already materialized in the
+	// workspace (i.e. the query's own derivations), leaving a streamable
+	// answer rule to the cursor.
+	for _, stratum := range combined.Strata {
+		var fresh []*compiler.RulePlan
+		for _, r := range stratum {
+			if r == answer {
+				continue
+			}
+			if _, have := ws.derived.Get(r.HeadName); !have {
+				fresh = append(fresh, r)
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		if err := ctx.EvalStratum(fresh); err != nil {
+			esp.End()
+			return nil, err
+		}
+	}
+	if answer != nil {
+		if plan, ok := headFirstPlan(answer); ok {
+			rc, err := ctx.StreamRule(plan)
+			if err == nil {
+				return &Cursor{rctx: rctx, esp: esp, rc: rc, streamed: true}, nil
+			}
+		}
+		// Reordering or cursor setup failed: materialize the answer rule
+		// after all (correctness over pipelining).
+		if err := ctx.EvalStratum([]*compiler.RulePlan{answer}); err != nil {
+			esp.End()
+			return nil, err
+		}
+	}
+	esp.End()
+	rel := ctx.Relation("_")
+	return &Cursor{rctx: rctx, mat: rel.Cursor(), hint: rel.Len()}, nil
+}
+
+// streamableAnswer returns the single answer rule when the program shape
+// admits pipelined evaluation with output identical to the materialized
+// path: exactly one rule derives "_", nothing consumes "_", the rule
+// neither aggregates nor predicts, "_" is not already materialized in
+// the workspace, and every head column is a join variable or a constant
+// (so a head-variable-first join order makes the projected heads arrive
+// sorted). Returns nil when any condition fails — callers then fall back
+// to materialization.
+func (ws *Workspace) streamableAnswer(prog *compiler.Program) *compiler.RulePlan {
+	if _, have := ws.derived.Get("_"); have {
+		return nil
+	}
+	var rule *compiler.RulePlan
+	n := 0
+	for _, stratum := range prog.Strata {
+		for _, r := range stratum {
+			if r.HeadName == "_" {
+				rule = r
+				n++
+			}
+			for _, b := range r.BodyNames {
+				if b == "_" {
+					return nil
+				}
+			}
+			for _, b := range r.NegNames {
+				if b == "_" {
+					return nil
+				}
+			}
+		}
+	}
+	if n != 1 || rule.Agg != nil || rule.Predict != nil {
+		return nil
+	}
+	for _, e := range rule.HeadExprs {
+		switch e := e.(type) {
+		case compiler.VarExpr:
+			if e.Idx >= rule.NumJoinVars {
+				return nil // computed slot: breaks output monotonicity
+			}
+		case compiler.ConstExpr:
+		default:
+			return nil
+		}
+	}
+	return rule
+}
+
+// headFirstPlan reorders the answer rule's join variables so the head's
+// distinct variables (in first-occurrence order) lead. LFTJ enumerates
+// bindings lexicographically in the variable order, and projecting a
+// monotone prefix keeps that order, so the streamed heads come out
+// sorted with duplicates adjacent — exactly the materialized relation's
+// iteration order after adjacent dedup.
+func headFirstPlan(r *compiler.RulePlan) (*compiler.RulePlan, bool) {
+	order := make([]int, 0, r.NumJoinVars)
+	seen := make([]bool, r.NumJoinVars)
+	for _, e := range r.HeadExprs {
+		if v, ok := e.(compiler.VarExpr); ok && !seen[v.Idx] {
+			seen[v.Idx] = true
+			order = append(order, v.Idx)
+		}
+	}
+	identity := true
+	for i, o := range order {
+		if i != o {
+			identity = false
+		}
+	}
+	for i := 0; i < r.NumJoinVars; i++ {
+		if !seen[i] {
+			order = append(order, i)
+		}
+	}
+	if identity {
+		return r, true
+	}
+	plan, err := compiler.ReorderRule(r, order)
+	if err != nil {
+		return nil, false
+	}
+	return plan, true
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"logicblox/internal/engine"
+	"logicblox/internal/obs"
+	"logicblox/internal/parser"
+	"logicblox/internal/tuple"
+)
+
+// referenceQuery evaluates a query the pre-streaming way: every fresh
+// stratum fully materialized, answers read off the "_" relation. This is
+// the ground truth the cursor paths must match byte-for-byte.
+func referenceQuery(t *testing.T, ws *Workspace, src string) []tuple.Tuple {
+	t.Helper()
+	qprog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	combined, err := compileBlocks(ws.parsedBlocks(), qprog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models})
+	for _, stratum := range combined.Strata {
+		if err := ctx.EvalStratum(stratum); err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+	}
+	return ctx.Relation("_").Slice()
+}
+
+func drainCursor(t *testing.T, cur *Cursor) []tuple.Tuple {
+	t.Helper()
+	defer cur.Close()
+	out := make([]tuple.Tuple, 0, 8)
+	for tu, ok := cur.Next(); ok; tu, ok = cur.Next() {
+		out = append(out, tu)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("cursor: %v", err)
+	}
+	return out
+}
+
+func sameTuples(a, b []tuple.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// loadedWorkspace builds a workspace with deterministic random contents
+// for e(2), f(1), g(2).
+func loadedWorkspace(t *testing.T, seed int64, n int) *Workspace {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ws := NewWorkspace()
+	var e, g []tuple.Tuple
+	for i := 0; i < n; i++ {
+		e = append(e, tuple.Ints(rng.Int63n(9), rng.Int63n(9)))
+		g = append(g, tuple.Ints(rng.Int63n(9), rng.Int63n(9)))
+	}
+	var f []tuple.Tuple
+	for i := int64(0); i < 9; i += 2 {
+		f = append(f, tuple.Ints(i))
+	}
+	var err error
+	for name, ts := range map[string][]tuple.Tuple{"e": e, "f": f, "g": g} {
+		ws, err = ws.Load(name, ts)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+	}
+	return ws
+}
+
+// TestQueryStreamMatchesReference: over a spread of query shapes — joins,
+// projections with duplicate/reordered/constant head columns, filters,
+// assignments, negation, aux rules, recursion, aggregation — the cursor's
+// output is identical (same order, same tuples) to the fully materialized
+// reference, and Query itself keeps its old behavior.
+func TestQueryStreamMatchesReference(t *testing.T) {
+	queries := []struct {
+		src    string
+		stream bool // expected fast-path eligibility
+	}{
+		{`_(x, y) <- e(x, y).`, true},
+		{`_(y, x) <- e(x, y).`, true},
+		{`_(x, x, y) <- e(x, y).`, true},
+		{`_(x, 7, y) <- e(x, y).`, true},
+		{`_(x, z) <- e(x, y), g(y, z).`, true},
+		{`_(z) <- e(x, y), g(y, z), x < z.`, true},
+		{`_(x, y) <- e(x, y), !f(y).`, true},
+		{`_(y) <- e(3, y).`, true},
+		{`_(x, s) <- e(x, y), s = x + y.`, false},                       // computed head slot
+		{`aux(x) <- e(x, y), 4 < y. _(x, z) <- aux(x), g(x, z).`, true}, // aux stratum materialized
+		{`_(x, y) <- e(x, y). _(x, y) <- g(x, y).`, false},              // two answer rules
+		{`_(x, y) <- e(x, y). _(x, z) <- _(x, y), e(y, z).`, false},     // recursion through the answer
+		{`p(x, y) <- e(x, y). p(x, z) <- p(x, y), e(y, z). _(x, z) <- p(x, z).`, true},
+		{`_(x, z) <- aux2(x, z). aux2(x, z) <- e(x, z).`, true},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		ws := loadedWorkspace(t, 100+seed, 80)
+		for _, q := range queries {
+			want := referenceQuery(t, ws, q.src)
+			cur, err := ws.QueryStream(context.Background(), q.src)
+			if err != nil {
+				t.Fatalf("QueryStream(%q): %v", q.src, err)
+			}
+			streamed := cur.Streamed()
+			got := drainCursor(t, cur)
+			if !sameTuples(got, want) {
+				t.Errorf("seed %d %q:\nstream = %v\nref    = %v", seed, q.src, got, want)
+			}
+			if streamed != q.stream {
+				t.Errorf("seed %d %q: Streamed() = %v, want %v", seed, q.src, streamed, q.stream)
+			}
+			qrows, err := ws.Query(q.src)
+			if err != nil {
+				t.Fatalf("Query(%q): %v", q.src, err)
+			}
+			if !sameTuples(qrows, want) {
+				t.Errorf("seed %d %q: Query = %v, ref = %v", seed, q.src, qrows, want)
+			}
+		}
+	}
+}
+
+// TestQueryStreamRandomizedPrograms is the difftest-style sweep: random
+// generated query programs over random data, streamed == reference.
+func TestQueryStreamRandomizedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	heads := []string{
+		`_(x, y)`, `_(y, x)`, `_(x)`, `_(y)`, `_(y, y, x)`, `_(x, 3, y)`,
+	}
+	bodies := []string{
+		`e(x, y)`,
+		`e(x, y), g(y, z)`,
+		`e(x, y), x < y`,
+		`e(x, y), !f(x)`,
+		`e(x, y), g(y, x)`,
+		`e(x, z), e(z, y)`,
+	}
+	for trial := 0; trial < 30; trial++ {
+		ws := loadedWorkspace(t, int64(500+trial), 40+rng.Intn(80))
+		src := fmt.Sprintf("%s <- %s.", heads[rng.Intn(len(heads))], bodies[rng.Intn(len(bodies))])
+		want := referenceQuery(t, ws, src)
+		cur, err := ws.QueryStream(context.Background(), src)
+		if err != nil {
+			t.Fatalf("trial %d QueryStream(%q): %v", trial, src, err)
+		}
+		got := drainCursor(t, cur)
+		if !sameTuples(got, want) {
+			t.Errorf("trial %d %q:\nstream = %v\nref    = %v", trial, src, got, want)
+		}
+	}
+}
+
+// TestQueryStreamAggregateAux: an aggregating auxiliary stratum is
+// materialized up front and the plain answer rule over it still streams,
+// matching the reference byte for byte.
+func TestQueryStreamAggregateAux(t *testing.T) {
+	ws := loadedWorkspace(t, 9, 50)
+	src := `s[x] = c <- agg<<c = count()>> e(x, y). _(x, c) <- s[x] = c.`
+	want := referenceQuery(t, ws, src)
+	cur, err := ws.QueryStream(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainCursor(t, cur)
+	if !sameTuples(got, want) {
+		t.Errorf("agg stream = %v, ref = %v", got, want)
+	}
+}
+
+// TestQueryStreamCancellation: cancelling the context mid-stream makes
+// Next fail, Err report the cancellation, and Close record an abort.
+func TestQueryStreamCancellation(t *testing.T) {
+	reg := obs.NewRegistry()
+	ws := loadedWorkspace(t, 11, 200).WithObserver(reg)
+	cctx, cancel := context.WithCancel(context.Background())
+	cur, err := ws.QueryStream(cctx, `_(x, y) <- e(x, y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Streamed() {
+		t.Fatal("expected the fast path")
+	}
+	if _, ok := cur.Next(); !ok {
+		t.Fatal("first pull should succeed")
+	}
+	cancel()
+	if _, ok := cur.Next(); ok {
+		t.Fatal("pull after cancel should fail")
+	}
+	if !errors.Is(cur.Err(), context.Canceled) {
+		t.Fatalf("Err = %v", cur.Err())
+	}
+	cur.Close()
+	cur.Close() // idempotent
+	if got := reg.Counter("tx.query.stream.abort").Value(); got != 1 {
+		t.Errorf("tx.query.stream.abort = %d, want 1", got)
+	}
+	if got := reg.Counter("tx.query.stream.commit").Value(); got != 0 {
+		t.Errorf("tx.query.stream.commit = %d, want 0", got)
+	}
+}
+
+// TestQueryStreamSpanAndCounters: a drained cursor commits under the
+// tx.query.stream kind; QueryCtx keeps the classic tx.query kind.
+func TestQueryStreamSpanAndCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	ws := loadedWorkspace(t, 13, 30).WithObserver(reg)
+	cur, err := ws.QueryStream(context.Background(), `_(x, y) <- e(x, y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(drainCursor(t, cur))
+	if n == 0 {
+		t.Fatal("expected answers")
+	}
+	if int64(n) != cur.Rows() {
+		t.Errorf("Rows() = %d, drained %d", cur.Rows(), n)
+	}
+	if got := reg.Counter("tx.query.stream.commit").Value(); got != 1 {
+		t.Errorf("tx.query.stream.commit = %d, want 1", got)
+	}
+	if _, err := ws.QueryCtx(context.Background(), `_(x) <- f(x).`); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("tx.query.commit").Value(); got != 1 {
+		t.Errorf("tx.query.commit = %d, want 1", got)
+	}
+}
+
+// TestQueryStreamEarlyCloseCommits: abandoning a healthy cursor early
+// (e.g. a page limit) closes cleanly as a commit.
+func TestQueryStreamEarlyCloseCommits(t *testing.T) {
+	reg := obs.NewRegistry()
+	ws := loadedWorkspace(t, 17, 100).WithObserver(reg)
+	cur, err := ws.QueryStream(context.Background(), `_(x, y) <- e(x, y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Next(); !ok {
+		t.Fatal("expected at least one answer")
+	}
+	cur.Close()
+	if got := reg.Counter("tx.query.stream.commit").Value(); got != 1 {
+		t.Errorf("commit = %d, want 1", got)
+	}
+	// The workspace still serves queries afterwards (iterators released).
+	if _, err := ws.Query(`_(x, y) <- e(x, y).`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryStreamParseAndTypeErrors keep the classic sentinel wrapping.
+func TestQueryStreamParseAndTypeErrors(t *testing.T) {
+	ws := NewWorkspace()
+	if _, err := ws.QueryStream(context.Background(), `_(x <-`); !errors.Is(err, ErrParse) {
+		t.Errorf("parse error = %v, want ErrParse", err)
+	}
+}

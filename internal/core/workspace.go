@@ -18,7 +18,6 @@ import (
 	"logicblox/internal/ml"
 	"logicblox/internal/obs"
 	"logicblox/internal/optimizer"
-	"logicblox/internal/parser"
 	"logicblox/internal/pmap"
 	"logicblox/internal/relation"
 	"logicblox/internal/tuple"
@@ -366,51 +365,27 @@ func (ws *Workspace) Query(src string) ([]tuple.Tuple, error) {
 
 // QueryCtx is Query bounded by a context: cancellation or deadline
 // expiry stops the evaluation at the next rule or fixpoint-round
-// boundary and the transaction returns ctx.Err() wrapped.
+// boundary and the transaction returns ctx.Err() wrapped. It is a thin
+// wrapper that drains a QueryStream cursor (under the classic tx.query
+// span kind), so both paths evaluate identically.
 func (ws *Workspace) QueryCtx(rctx context.Context, src string) ([]tuple.Tuple, error) {
 	sp, done := ws.txSpan(rctx, "query")
-	out, err := ws.query(rctx, src, sp)
-	done(err)
-	return out, err
-}
-
-func (ws *Workspace) query(rctx context.Context, src string, sp *obs.Span) ([]tuple.Tuple, error) {
-	psp := sp.Child("parse")
-	qprog, err := parser.Parse(src)
-	psp.End()
+	cur, err := ws.openCursor(rctx, src, sp)
 	if err != nil {
-		return nil, fmt.Errorf("query %w: %w", ErrParse, err)
+		done(err)
+		return nil, err
 	}
-	csp := sp.Child("compile")
-	combined, err := compileBlocks(ws.parsedBlocks(), qprog)
-	csp.End()
+	cur.sp, cur.done = sp, done
+	out := make([]tuple.Tuple, 0, cur.hint)
+	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
+		out = append(out, t)
+	}
+	err = cur.Err()
+	cur.Close()
 	if err != nil {
-		return nil, fmt.Errorf("query %w: %w", ErrTypecheck, err)
+		return nil, err
 	}
-	ctx := engine.NewContext(combined, ws.relations(), engine.Options{Models: ws.models, Optimize: ws.optimize, Plans: ws.plans, Obs: ws.Observer(), Ctx: rctx})
-	esp := sp.Child("eval")
-	ctx.SetSpan(esp)
-	// Evaluate only predicates that are not already materialized in the
-	// workspace (i.e. the query's own derivations).
-	for _, stratum := range combined.Strata {
-		var fresh []*compiler.RulePlan
-		for _, r := range stratum {
-			if _, have := ws.derived.Get(r.HeadName); !have {
-				fresh = append(fresh, r)
-			}
-		}
-		if len(fresh) == 0 {
-			continue
-		}
-		if err := ctx.EvalStratum(fresh); err != nil {
-			esp.End()
-			return nil, err
-		}
-	}
-	esp.End()
-	res := ctx.Relation("_").Slice()
-	sp.SetAttr("answers", int64(len(res)))
-	return res, nil
+	return out, nil
 }
 
 // Load is a convenience for seeding base predicates in bulk (outside the

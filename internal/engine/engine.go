@@ -397,57 +397,66 @@ func (c *Context) evalRule(r *compiler.RulePlan, atomOverride map[int]relation.R
 	return out, nil
 }
 
-// enumerate runs the rule body join and calls emit for every binding that
-// survives assignments, filters, and negated atoms. The binding has
-// r.Slots values and is reused across calls.
-func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.Relation, emit func(tuple.Tuple) bool) error {
-	resolver := ctxResolver{c}
-	full := make(tuple.Tuple, r.Slots)
+// ruleBinder extends raw join bindings into a rule's full slot tuple:
+// assignments computed, filters and negated atoms applied. It owns a
+// reusable r.Slots-wide buffer, shared by the callback path (enumerate)
+// and the pull path (StreamRule).
+type ruleBinder struct {
+	c        *Context
+	r        *compiler.RulePlan
+	resolver ctxResolver
+	full     tuple.Tuple
+}
 
-	finish := func(joinBinding tuple.Tuple) (bool, error) {
-		copy(full, joinBinding)
-		for _, a := range r.Assigns {
-			v, err := a.E.Eval(full, resolver)
-			if err != nil {
-				return false, err
-			}
-			full[a.Slot] = v
+func newRuleBinder(c *Context, r *compiler.RulePlan) *ruleBinder {
+	return &ruleBinder{c: c, r: r, resolver: ctxResolver{c}, full: make(tuple.Tuple, r.Slots)}
+}
+
+// complete runs assignments, filters, and negated atoms over one join
+// binding. pass=false means the binding was filtered out (not an error).
+// The returned tuple is the binder's buffer, reused across calls.
+func (b *ruleBinder) complete(joinBinding tuple.Tuple) (full tuple.Tuple, pass bool, err error) {
+	copy(b.full, joinBinding)
+	for _, a := range b.r.Assigns {
+		v, err := a.E.Eval(b.full, b.resolver)
+		if err != nil {
+			return nil, false, err
 		}
-		for _, f := range r.Filters {
-			l, err := f.L.Eval(full, resolver)
-			if err != nil {
-				return false, err
-			}
-			rv, err := f.R.Eval(full, resolver)
-			if err != nil {
-				return false, err
-			}
-			ok, err := compiler.CompareValues(f.Op, l, rv)
-			if err != nil {
-				return false, err
-			}
-			if !ok {
-				return true, nil // filtered out; continue enumeration
-			}
-		}
-		for _, na := range r.NegAtoms {
-			exists, err := c.checkGroundAtom(na, full, resolver)
-			if err != nil {
-				return false, err
-			}
-			if exists {
-				return true, nil
-			}
-		}
-		return emit(full), nil
+		b.full[a.Slot] = v
 	}
-
-	if len(r.Atoms) == 0 && len(r.Consts) == 0 {
-		// Fact or fully computed rule: a single empty binding.
-		_, err := finish(nil)
-		return err
+	for _, f := range b.r.Filters {
+		l, err := f.L.Eval(b.full, b.resolver)
+		if err != nil {
+			return nil, false, err
+		}
+		rv, err := f.R.Eval(b.full, b.resolver)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := compiler.CompareValues(f.Op, l, rv)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
 	}
+	for _, na := range b.r.NegAtoms {
+		exists, err := b.c.checkGroundAtom(na, b.full, b.resolver)
+		if err != nil {
+			return nil, false, err
+		}
+		if exists {
+			return nil, false, nil
+		}
+	}
+	return b.full, true, nil
+}
 
+// buildJoin constructs the LFTJ join over a rule's body atoms and
+// constant bindings (secondary indexes materialized as needed). The rule
+// must have at least one atom or constant.
+func (c *Context) buildJoin(r *compiler.RulePlan, atomOverride map[int]relation.Relation) (*lftj.Join, error) {
 	atoms := make([]lftj.Atom, 0, len(r.Atoms)+len(r.Consts))
 	for ai, ap := range r.Atoms {
 		rel, ok := atomOverride[ai]
@@ -466,7 +475,37 @@ func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.
 	}
 	j, err := lftj.NewJoin(r.NumJoinVars, atoms, c.sens)
 	if err != nil {
-		return fmt.Errorf("in rule %q: %w", r.Source, err)
+		return nil, fmt.Errorf("in rule %q: %w", r.Source, err)
+	}
+	return j, nil
+}
+
+// enumerate runs the rule body join and calls emit for every binding that
+// survives assignments, filters, and negated atoms. The binding has
+// r.Slots values and is reused across calls.
+func (c *Context) enumerate(r *compiler.RulePlan, atomOverride map[int]relation.Relation, emit func(tuple.Tuple) bool) error {
+	binder := newRuleBinder(c, r)
+
+	finish := func(joinBinding tuple.Tuple) (bool, error) {
+		full, pass, err := binder.complete(joinBinding)
+		if err != nil {
+			return false, err
+		}
+		if !pass {
+			return true, nil // filtered out; continue enumeration
+		}
+		return emit(full), nil
+	}
+
+	if len(r.Atoms) == 0 && len(r.Consts) == 0 {
+		// Fact or fully computed rule: a single empty binding.
+		_, err := finish(nil)
+		return err
+	}
+
+	j, err := c.buildJoin(r, atomOverride)
+	if err != nil {
+		return err
 	}
 	rs := c.ruleStatsFor(r)
 	// Full (non-delta) evaluations of optimized plans feed their real

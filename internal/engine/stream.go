@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"logicblox/internal/compiler"
+	"logicblox/internal/lftj"
+	"logicblox/internal/obs"
+	"logicblox/internal/tuple"
+)
+
+// RuleCursor is a pull cursor over one rule's derived head tuples: the
+// streaming counterpart of evalRule for plain-projection rules. Each
+// Next pipelines one binding out of the LFTJ join iterator, completes it
+// (assignments, filters, negation), and projects the head — nothing is
+// materialized. Tuples come out in lexicographic order of the rule's
+// join-variable order; duplicates from distinct bindings are NOT removed
+// (the consumer dedups, cheaply when head projection preserves order).
+type RuleCursor struct {
+	c      *Context
+	r      *compiler.RulePlan
+	binder *ruleBinder
+	it     *lftj.Iter
+	fact   bool // no atoms/consts: a single empty binding
+	done   bool
+	closed bool
+	err    error
+	rows   int64
+	rs     *obs.RuleStats
+	m      *lftj.Metrics
+	t0     time.Time
+}
+
+// StreamRule opens a pull cursor over r's derivations. The rule must be a
+// plain head projection (no aggregation or predict accumulator — those
+// need the full result before producing any row). The plan is evaluated
+// exactly as given: no optimizer reordering, so the caller controls the
+// enumeration order. The cursor must be Closed (idempotent); it holds the
+// join's trie iterators open between Next calls.
+func (c *Context) StreamRule(r *compiler.RulePlan) (*RuleCursor, error) {
+	if r.Agg != nil || r.Predict != nil {
+		return nil, fmt.Errorf("engine: rule %q aggregates; cannot stream", r.Source)
+	}
+	cur := &RuleCursor{c: c, r: r, binder: newRuleBinder(c, r), t0: time.Now()}
+	if len(r.Atoms) == 0 && len(r.Consts) == 0 {
+		cur.fact = true
+		return cur, nil
+	}
+	j, err := c.buildJoin(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rs := c.ruleStatsFor(r); rs != nil {
+		cur.rs = rs
+		cur.m = &lftj.Metrics{}
+		j.SetMetrics(cur.m)
+	}
+	cur.it = j.Iter()
+	return cur, nil
+}
+
+// Next returns the next head tuple. ok=false means exhaustion OR error —
+// check Err after the loop. The returned tuple is freshly allocated and
+// owned by the caller. Cancellation of the context the evaluation was
+// built with surfaces as Err() after at most one binding.
+func (cur *RuleCursor) Next() (tuple.Tuple, bool) {
+	if cur.done {
+		return nil, false
+	}
+	if cur.fact {
+		cur.done = true
+		return cur.project(nil)
+	}
+	for {
+		if err := cur.c.ctxErr(); err != nil {
+			cur.err = err
+			cur.done = true
+			return nil, false
+		}
+		b, ok := cur.it.Next()
+		if !ok {
+			cur.done = true
+			return nil, false
+		}
+		head, ok := cur.project(b)
+		if cur.done {
+			return head, ok
+		}
+		if ok {
+			return head, true
+		}
+		// Filtered out: keep pulling.
+	}
+}
+
+// project completes one join binding and evaluates the head expressions.
+// On filter-out it returns (nil, false) with the cursor still live; on
+// error it records it and marks the cursor done.
+func (cur *RuleCursor) project(b tuple.Tuple) (tuple.Tuple, bool) {
+	full, pass, err := cur.binder.complete(b)
+	if err != nil {
+		cur.fail(err)
+		return nil, false
+	}
+	if !pass {
+		return nil, false
+	}
+	head, err := evalExprs(cur.r.HeadExprs, full, cur.binder.resolver)
+	if err != nil {
+		cur.fail(err)
+		return nil, false
+	}
+	cur.rows++
+	return head, true
+}
+
+func (cur *RuleCursor) fail(err error) {
+	cur.err = fmt.Errorf("in rule %q: %w", cur.r.Source, err)
+	cur.done = true
+}
+
+// Err returns the first error the cursor hit, if any (nil after a clean
+// exhaustion).
+func (cur *RuleCursor) Err() error { return cur.err }
+
+// Rows returns the number of head tuples produced so far.
+func (cur *RuleCursor) Rows() int64 { return cur.rows }
+
+// Close releases the join's trie iterators and flushes the rule's
+// evaluation profile (duration, rows, seek/next counts). Idempotent.
+func (cur *RuleCursor) Close() {
+	if cur.closed {
+		return
+	}
+	cur.closed = true
+	cur.done = true
+	if cur.it != nil {
+		cur.it.Close()
+	}
+	if cur.rs != nil {
+		cur.rs.AddEval(time.Since(cur.t0), cur.rows)
+		if cur.m != nil {
+			cur.rs.AddJoin(cur.m.Seeks, cur.m.Nexts, cur.m.SensRecords)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package lftj
+
+import (
+	"math/rand"
+	"testing"
+
+	"logicblox/internal/relation"
+	"logicblox/internal/tuple"
+)
+
+// drainIter pulls every binding out of a fresh cursor, cloning each.
+func drainIter(j *Join) []tuple.Tuple {
+	it := j.Iter()
+	defer it.Close()
+	var out []tuple.Tuple
+	for b, ok := it.Next(); ok; b, ok = it.Next() {
+		out = append(out, b.Clone())
+	}
+	return out
+}
+
+func triangleAtoms(r, s, tt relation.Relation) []Atom {
+	return []Atom{
+		{Pred: "R", Iter: r.Iterator(), Vars: []int{0, 1}},
+		{Pred: "S", Iter: s.Iterator(), Vars: []int{1, 2}},
+		{Pred: "T", Iter: tt.Iterator(), Vars: []int{0, 2}},
+	}
+}
+
+// TestIterMatchesCollect: the pull cursor yields the same bindings in the
+// same order as the callback API, over randomized triangle instances.
+func TestIterMatchesCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		mk := func() relation.Relation {
+			r := relation.New(2)
+			for i := 0; i < rng.Intn(80); i++ {
+				r = r.Insert(tuple.Ints(rng.Int63n(10), rng.Int63n(10)))
+			}
+			return r
+		}
+		r, s, tt := mk(), mk(), mk()
+		jr, err := NewJoin(3, triangleAtoms(r, s, tt), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := jr.Collect()
+		ji, err := NewJoin(3, triangleAtoms(r, s, tt), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainIter(ji)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: iter yielded %d, collect %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d: iter[%d] = %v, collect %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIterZeroVars: the degenerate boolean join yields exactly one nil
+// binding, matching Run's behavior.
+func TestIterZeroVars(t *testing.T) {
+	j := &Join{numVars: 0}
+	it := j.Iter()
+	defer it.Close()
+	b, ok := it.Next()
+	if !ok || b != nil {
+		t.Fatalf("first Next = (%v, %v), want (nil, true)", b, ok)
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("second Next should report exhaustion")
+	}
+}
+
+// TestIterEarlyClose: abandoning a cursor mid-enumeration restores every
+// atom iterator to its root, so the same underlying relation supports a
+// fresh full run afterwards.
+func TestIterEarlyClose(t *testing.T) {
+	a := binary([2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 3}, [2]int64{2, 5})
+	ai := a.Iterator()
+	j, err := NewJoin(2, []Atom{{Pred: "A", Iter: ai, Vars: []int{0, 1}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := j.Iter()
+	if _, ok := it.Next(); !ok {
+		t.Fatal("expected at least one binding")
+	}
+	it.Close()
+	it.Close() // idempotent
+	if _, ok := it.Next(); ok {
+		t.Fatal("Next after Close should report exhaustion")
+	}
+	// The trie iterator must be back at depth -1: a second full cursor
+	// over the same Join sees all four tuples.
+	if got := drainIter(j); len(got) != 4 {
+		t.Fatalf("rerun after early close yielded %d bindings, want 4", len(got))
+	}
+}
+
+// TestIterExhaustionUnwinds: running a cursor dry leaves the atom
+// iterators unwound without an explicit Close.
+func TestIterExhaustionUnwinds(t *testing.T) {
+	a := unary(1, 2, 3)
+	j, err := NewJoin(1, []Atom{{Pred: "A", Iter: a.Iterator(), Vars: []int{0}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainIter(j); len(got) != 3 {
+		t.Fatalf("first pass = %d bindings", len(got))
+	}
+	if got := drainIter(j); len(got) != 3 {
+		t.Fatalf("second pass = %d bindings, want 3 (iterators not unwound?)", len(got))
+	}
+}
+
+// TestIterSensitivityParity: the cursor records the same sensitivity
+// intervals as the recursive Run did (Figure 3 trace).
+func TestIterSensitivityParity(t *testing.T) {
+	build := func(idx *SensitivityIndex) *Join {
+		a := unary(0, 1, 3, 4, 5, 6, 7, 8, 9, 11)
+		b := unary(0, 2, 6, 7, 8, 9)
+		c := unary(2, 4, 5, 8, 10)
+		j, err := NewJoin(1, []Atom{
+			{Pred: "A", Iter: a.Iterator(), Vars: []int{0}},
+			{Pred: "B", Iter: b.Iterator(), Vars: []int{0}},
+			{Pred: "C", Iter: c.Iterator(), Vars: []int{0}},
+		}, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	runIdx := NewSensitivityIndex()
+	build(runIdx).Run(func(tuple.Tuple) bool { return true })
+	iterIdx := NewSensitivityIndex()
+	drainIter(build(iterIdx))
+	for _, pred := range []string{"A", "B", "C"} {
+		ri, ii := runIdx.Intervals(pred), iterIdx.Intervals(pred)
+		if len(ri) != len(ii) {
+			t.Fatalf("%s: run recorded %d intervals, iter %d\nrun: %v\niter: %v", pred, len(ri), len(ii), ri, ii)
+		}
+	}
+	// Spot-check the published sensitive/insensitive probes agree.
+	for _, p := range []struct {
+		pred string
+		v    int64
+	}{{"C", 3}, {"C", 4}, {"A", 0}, {"A", 5}, {"B", 4}, {"B", 7}} {
+		if runIdx.Affected(p.pred, tuple.Ints(p.v)) != iterIdx.Affected(p.pred, tuple.Ints(p.v)) {
+			t.Errorf("Affected(%s,%d) differs between Run and Iter", p.pred, p.v)
+		}
+	}
+}
+
+// TestIterMetricsParity: the work counters accumulated by a full cursor
+// drain equal those of an equivalent Run.
+func TestIterMetricsParity(t *testing.T) {
+	mk := func(m *Metrics) *Join {
+		r := binary([2]int64{1, 2}, [2]int64{1, 3}, [2]int64{2, 3}, [2]int64{4, 1})
+		s := binary([2]int64{2, 3}, [2]int64{3, 4}, [2]int64{3, 1})
+		j, err := NewJoin(3, []Atom{
+			{Pred: "R", Iter: r.Iterator(), Vars: []int{0, 1}},
+			{Pred: "S", Iter: s.Iterator(), Vars: []int{1, 2}},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.m = m
+		return j
+	}
+	var mr, mi Metrics
+	mk(&mr).Run(func(tuple.Tuple) bool { return true })
+	drainIter(mk(&mi))
+	if mr != mi {
+		t.Fatalf("metrics differ: Run %+v, Iter %+v", mr, mi)
+	}
+}

@@ -85,48 +85,119 @@ func NewJoin(numVars int, atoms []Atom, idx *SensitivityIndex) (*Join, error) {
 // is reused between calls; clone it to retain it. Returning false from
 // emit aborts the enumeration.
 func (j *Join) Run(emit func(binding tuple.Tuple) bool) {
+	it := j.Iter()
+	defer it.Close()
+	for b, ok := it.Next(); ok; b, ok = it.Next() {
+		if !emit(b) {
+			return
+		}
+	}
+}
+
+// Iter is a pull-based cursor over the join's satisfying assignments: the
+// explicit-state form of the backtracking search Run performs, so a
+// consumer can draw one binding at a time (streaming query execution)
+// instead of receiving a callback per result. Bindings come out in the
+// same lexicographic order Run emits them.
+type Iter struct {
+	j *Join
+	// lfs[v] is the unary leapfrog currently open at variable v; entries
+	// 0..depth are live.
+	lfs []Leapfrog
+	// depth is the deepest open level; -1 before the first Next (and for
+	// the degenerate zero-variable join), -2 once exhausted or closed.
+	depth   int
+	started bool
+}
+
+// Iter returns a fresh cursor over the join. The join's atom iterators
+// are stateful, so at most one Iter (or Run) may be active per Join at a
+// time; Close unwinds any levels still open (it is called implicitly when
+// the cursor runs to exhaustion).
+func (j *Join) Iter() *Iter {
+	return &Iter{j: j, lfs: make([]Leapfrog, j.numVars), depth: -1}
+}
+
+// open descends into variable level v: every participating atom's trie
+// iterator is opened (recording the sensitivity of the landing, exactly
+// as the recursive Run did) and a unary leapfrog is initialized over them.
+func (it *Iter) open(v int) {
+	j := it.j
+	iters := j.iters[v]
+	for i, ai := range j.levels[v] {
+		ait := j.atoms[ai].Iter
+		ait.Open()
+		if j.rec != nil {
+			if ait.AtEnd() {
+				j.rec.record(ait, tuple.MinValue(), tuple.Value{}, true)
+			} else {
+				j.rec.record(ait, tuple.MinValue(), ait.Key(), false)
+			}
+		}
+		iters[i] = ait
+	}
+	it.lfs[v] = Leapfrog{iters: iters, rec: j.rec, m: j.m}
+	it.lfs[v].init()
+	it.depth = v
+}
+
+// up backtracks out of the current level.
+func (it *Iter) up() {
+	for _, ai := range it.j.levels[it.depth] {
+		it.j.atoms[ai].Iter.Up()
+	}
+	it.depth--
+}
+
+// Next advances to the next satisfying assignment. The returned binding
+// is reused between calls (clone it to retain it); ok is false once the
+// join is exhausted.
+func (it *Iter) Next() (binding tuple.Tuple, ok bool) {
+	j := it.j
+	if it.depth == -2 {
+		return nil, false
+	}
 	if j.numVars == 0 {
 		// Degenerate boolean join: satisfied iff every atom is nonempty,
 		// which is vacuously true here because zero-arity atoms cannot
 		// participate (arity ≥ 1 enforced by Vars validation).
-		emit(nil)
-		return
+		it.depth = -2
+		return nil, true
 	}
-	j.run(0, emit)
-}
-
-func (j *Join) run(v int, emit func(tuple.Tuple) bool) bool {
-	iters := j.iters[v]
-	for i, ai := range j.levels[v] {
-		it := j.atoms[ai].Iter
-		it.Open()
-		if j.rec != nil {
-			if it.AtEnd() {
-				j.rec.record(it, tuple.MinValue(), tuple.Value{}, true)
-			} else {
-				j.rec.record(it, tuple.MinValue(), it.Key(), false)
+	if !it.started {
+		it.started = true
+		it.open(0)
+	} else {
+		// Resume past the binding handed out last time.
+		it.lfs[it.depth].Next()
+	}
+	for {
+		// Backtrack out of exhausted levels, advancing the parent.
+		for it.depth >= 0 && it.lfs[it.depth].AtEnd() {
+			it.up()
+			if it.depth >= 0 {
+				it.lfs[it.depth].Next()
 			}
 		}
-		iters[i] = it
-	}
-	lf := Leapfrog{iters: iters, rec: j.rec, m: j.m}
-	lf.init()
-	cont := true
-	for cont && !lf.AtEnd() {
-		j.binding[v] = lf.Key()
-		if v == j.numVars-1 {
-			cont = emit(j.binding)
-		} else {
-			cont = j.run(v+1, emit)
+		if it.depth < 0 {
+			it.depth = -2
+			return nil, false
 		}
-		if cont {
-			lf.Next()
+		j.binding[it.depth] = it.lfs[it.depth].Key()
+		if it.depth == j.numVars-1 {
+			return j.binding, true
 		}
+		it.open(it.depth + 1)
 	}
-	for _, ai := range j.levels[v] {
-		j.atoms[ai].Iter.Up()
+}
+
+// Close unwinds any still-open trie levels (restoring every atom iterator
+// to its root) and marks the cursor exhausted. Safe to call repeatedly.
+func (it *Iter) Close() {
+	for it.depth >= 0 {
+		it.up()
 	}
-	return cont
+	it.depth = -2
 }
 
 // Count runs the join and returns the number of satisfying assignments.

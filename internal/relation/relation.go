@@ -106,6 +106,28 @@ func (r Relation) Slice() []tuple.Tuple {
 	return out
 }
 
+// Cursor is a pull iterator over a relation's tuples in lexicographic
+// order — the same sequence Slice returns, without building the slice.
+// The relation is immutable, so the cursor stays valid indefinitely.
+type Cursor struct {
+	it *treap.Iterator[tuple.Tuple, struct{}]
+}
+
+// Cursor returns a pull iterator positioned before the first tuple.
+func (r Relation) Cursor() *Cursor { return &Cursor{it: r.t.Iterator()} }
+
+// Next returns the next tuple in lexicographic order; ok is false once
+// the relation is exhausted. The tuple is the stored (immutable) value —
+// callers must not mutate it.
+func (c *Cursor) Next() (t tuple.Tuple, ok bool) {
+	if c.it.AtEnd() {
+		return nil, false
+	}
+	t = c.it.Key()
+	c.it.Next()
+	return t, true
+}
+
 // Diff enumerates the differences between r (old) and o (new): onDel for
 // tuples only in r, onIns for tuples only in o. Cost is proportional to
 // the unshared structure between the versions (paper §3.1: "changes

@@ -43,6 +43,10 @@ func statusFor(err error) (status int, code string) {
 		return http.StatusInternalServerError, "durability"
 	case errors.Is(err, errBusy):
 		return http.StatusServiceUnavailable, "busy"
+	case errors.Is(err, errBadCursor):
+		return http.StatusBadRequest, "bad_cursor"
+	case errors.Is(err, errStaleCursor):
+		return http.StatusGone, "stale_cursor"
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
@@ -108,6 +112,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so streamed NDJSON chunks reach
+// the client as they are produced rather than at end of request.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // acquire admits the request into the bounded worker pool: it blocks
 // until a worker slot frees up, the context ends, or the wait queue is
 // already full (errBusy). The server.queue.depth gauge tracks requests
@@ -150,7 +162,7 @@ func (s *Server) release() { <-s.sem }
 func (s *Server) endpoint(name, method string, pooled bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
-			writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", method+" required", "")
+			writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", method+" required", requestID(r))
 			return
 		}
 		info := &requestInfo{id: requestID(r)}

@@ -11,7 +11,12 @@
 // Endpoints:
 //
 //	POST /exec       run an exec transaction and commit it
-//	POST /query      run a read-only query on the branch snapshot
+//	POST /query      run a read-only query on the branch snapshot —
+//	                 a materialized JSON envelope (default-capped,
+//	                 limit/cursor paginated) or, negotiated via
+//	                 Accept: application/x-ndjson / ?stream=1 / body
+//	                 "stream", a chunked NDJSON stream pulled row by
+//	                 row from the join cursor (see stream.go)
 //	POST /addblock   install a block of logic and commit
 //	POST /check      warning-tier program checks over the branch's
 //	                 installed logic merged with an optional candidate
@@ -23,6 +28,9 @@
 //	GET  /metrics    obs registry, Prometheus text exposition
 //	GET  /debug/vars obs registry, expvar-style JSON
 //	GET  /healthz    liveness (503 while draining)
+//
+// Every endpoint is also served under the versioned /v1/ prefix with
+// identical behavior; the bare paths are permanent aliases.
 //
 // With Config.Durable set, every committed transaction is journaled
 // write-ahead through internal/durable before the client sees its ack,
@@ -71,6 +79,11 @@ type Config struct {
 	// MaxRetries bounds optimistic re-executions after commit conflicts
 	// before the request surfaces 409 (default: 3).
 	MaxRetries int
+	// DefaultLimit caps materialized /query responses when the request
+	// does not set its own limit (default: 10000 rows; negative
+	// disables the cap). Responses cut off by the cap carry a
+	// next_cursor. Streamed (NDJSON) responses are never default-capped.
+	DefaultLimit int
 	// DisableRepair turns off fine-grained transaction repair (paper
 	// §3.4): execs run without recording read intervals, and every lost
 	// commit race falls back to full re-execution. The default (repair
@@ -173,6 +186,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	// /v1 is the versioned surface: every route above is reachable with
+	// a /v1 prefix, identical behavior. The unversioned paths remain as
+	// aliases for existing clients; a future incompatible surface would
+	// ship as /v2 alongside.
+	mux.Handle("/v1/", http.StripPrefix("/v1", http.HandlerFunc(mux.ServeHTTP)))
 	return mux
 }
 
@@ -300,9 +318,13 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleQuery runs a read-only query on the branch-head snapshot; no
-// commit is involved (paper §3.1: queries read a version, concurrent
-// writers never block them).
+// handleQuery runs a read-only query on a branch snapshot; no commit is
+// involved (paper §3.1: queries read a version, concurrent writers never
+// block them). A fresh query reads the branch head; a pagination cursor
+// re-reads the exact version its first page saw. The response is either
+// the materialized JSON envelope or, on request (stream field, ?stream=1
+// or Accept: application/x-ndjson), chunked NDJSON pipelined straight
+// out of the join iterators.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	r, cancel, ok := s.decode(w, r, &req)
@@ -310,17 +332,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	head, err := s.Database().Workspace(req.Branch)
+	ws, tok, err := s.resolveQuery(&req)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	rows, err := head.WithObserver(s.reg).QueryCtx(r.Context(), req.Src)
-	if err != nil {
-		s.writeError(w, r, err)
+	if info := requestInfoFrom(r.Context()); info != nil {
+		info.branch = tok.Branch
+	}
+	if wantStream(r, &req) {
+		s.streamQuery(w, r, &req, ws, tok)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{OK: true, Rows: rowsJSON(rows), Trace: s.inlineTrace(r)})
+	s.materializedQuery(w, r, &req, ws, tok)
 }
 
 // handleAddBlock installs a block through the same optimistic-commit
@@ -555,7 +579,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 // scraper sees the shutdown happen.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", "")
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", requestID(r))
 		return
 	}
 	s.refreshGauges()
@@ -582,7 +606,7 @@ type varsDocument struct {
 // default branch's head sees it).
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", "")
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", requestID(r))
 		return
 	}
 	s.refreshGauges()
@@ -605,6 +629,10 @@ func (s *Server) refreshGauges() {
 	s.reg.Gauge("server.workers").Set(int64(s.cfg.Workers))
 	s.reg.Gauge("server.branches").Set(int64(len(s.Database().Branches())))
 	s.reg.Gauge("server.versions").Set(int64(s.Database().Versions()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("go.heap_inuse").Set(int64(ms.HeapInuse))
+	s.reg.Gauge("go.heap_alloc").Set(int64(ms.HeapAlloc))
 	if relation.StorageStatsEnabled() {
 		st := relation.ReadStorageStats()
 		s.reg.Gauge("treap.nodes_allocated").Set(st.NodesAllocated)

@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"logicblox/internal/core"
+)
+
+// Streamed /query responses: NDJSON rows pipelined straight out of the
+// engine's join iterators (core.Workspace.QueryStream), one
+// {"row":[...]} line per answer tuple and a trailing {"summary":{...}}
+// record. Pagination cursors pin the snapshot version so pages of one
+// result never mix versions.
+
+// ndjsonContentType is the streamed /query response media type.
+const ndjsonContentType = "application/x-ndjson"
+
+// defaultQueryLimit caps materialized /query responses when neither the
+// request nor Config.DefaultLimit says otherwise: an accidental
+// `_(x...) <- bigrel(x...)` should not materialize an unbounded JSON
+// array in server memory. Streams have no default cap — their memory is
+// O(1) in the result.
+const defaultQueryLimit = 10000
+
+// streamFlushBytes is how much encoded NDJSON is buffered before being
+// flushed to the client; small enough that a slow consumer sees rows
+// promptly, large enough to amortize syscalls.
+const streamFlushBytes = 32 << 10
+
+var (
+	// errBadCursor rejects a cursor token that does not decode.
+	errBadCursor = errors.New("malformed cursor")
+	// errStaleCursor rejects a cursor whose pinned snapshot version is no
+	// longer reachable (branch deleted, history rewritten by /load).
+	errStaleCursor = errors.New("cursor version no longer available")
+)
+
+// pageToken is the decoded form of a /query pagination cursor: the
+// branch, the pinned workspace version, and the row offset already
+// delivered. Encoded as unpadded base64url JSON — opaque to clients.
+type pageToken struct {
+	Branch  string `json:"b"`
+	Version uint64 `json:"v"`
+	Offset  int64  `json:"o"`
+}
+
+func encodePageToken(t pageToken) string {
+	b, _ := json.Marshal(t)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodePageToken(s string) (pageToken, error) {
+	var t pageToken
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return t, fmt.Errorf("%w: %v", errBadCursor, err)
+	}
+	if err := json.Unmarshal(b, &t); err != nil {
+		return t, fmt.Errorf("%w: %v", errBadCursor, err)
+	}
+	if t.Branch == "" || t.Offset < 0 {
+		return t, errBadCursor
+	}
+	return t, nil
+}
+
+// resolveQuery picks the workspace snapshot a /query runs against. A
+// fresh query reads the branch head; a cursor-bearing one re-resolves
+// the exact version the first page saw — from the head if it has not
+// moved, otherwise from the committed-version history — so pagination is
+// exactly-once over one immutable snapshot.
+func (s *Server) resolveQuery(req *Request) (*core.Workspace, pageToken, error) {
+	db := s.Database()
+	if req.Cursor == "" {
+		ws, err := db.Workspace(req.Branch)
+		return ws, pageToken{Branch: req.Branch}, err
+	}
+	tok, err := decodePageToken(req.Cursor)
+	if err != nil {
+		return nil, tok, err
+	}
+	if head, err := db.Workspace(tok.Branch); err == nil && head.Version() == tok.Version {
+		return head, tok, nil
+	}
+	for i := db.Versions() - 1; i >= 0; i-- {
+		v, err := db.VersionAt(i)
+		if err != nil {
+			continue
+		}
+		if v.Branch == tok.Branch && v.Workspace.Version() == tok.Version {
+			return v.Workspace, tok, nil
+		}
+	}
+	return nil, tok, fmt.Errorf("%w (branch %q version %d)", errStaleCursor, tok.Branch, tok.Version)
+}
+
+// effectiveLimit resolves the row cap for this request. An explicit
+// limit wins (<= 0 opts out entirely); otherwise materialized responses
+// get the server default and streams are uncapped.
+func (s *Server) effectiveLimit(req *Request, streaming bool) int {
+	if req.Limit != nil {
+		if *req.Limit <= 0 {
+			return 0
+		}
+		return *req.Limit
+	}
+	if streaming {
+		return 0
+	}
+	d := s.cfg.DefaultLimit
+	if d == 0 {
+		d = defaultQueryLimit
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// wantStream reports whether the request asked for the NDJSON streamed
+// response: body field, query parameter, or content negotiation.
+func wantStream(r *http.Request, req *Request) bool {
+	if req.Stream || r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
+}
+
+// materializedQuery is the classic JSON-envelope /query path: evaluate
+// fully (QueryCtx, span kind tx.query — unchanged wire behavior), then
+// window the rows by the cursor offset and row/byte caps. Rows are
+// encoded by the direct appendRowJSON encoder into one buffer.
+func (s *Server) materializedQuery(w http.ResponseWriter, r *http.Request, req *Request, ws *core.Workspace, tok pageToken) {
+	rows, err := ws.WithObserver(s.reg).QueryCtx(r.Context(), req.Src)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	limit := s.effectiveLimit(req, false)
+	total := int64(len(rows))
+	start := min(tok.Offset, total)
+	end := total
+	if limit > 0 && start+int64(limit) < end {
+		end = start + int64(limit)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	emitted := int64(0)
+	for _, t := range rows[start:end] {
+		if req.MaxResultBytes > 0 && emitted > 0 && int64(buf.Len()) >= req.MaxResultBytes {
+			break
+		}
+		if emitted > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(appendRowJSON(buf.AvailableBuffer(), t))
+		emitted++
+	}
+	buf.WriteByte(']')
+	resp := queryWire{
+		OK: true, Rows: json.RawMessage(buf.Bytes()),
+		RowCount: int(emitted), Limit: limit, Trace: s.inlineTrace(r),
+	}
+	if start+emitted < total {
+		resp.Truncated = true
+		resp.NextCursor = encodePageToken(pageToken{Branch: tok.Branch, Version: ws.Version(), Offset: start + emitted})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamQuery is the NDJSON path: a pull cursor from QueryStream (span
+// kind tx.query.stream), rows encoded and flushed incrementally, result
+// memory O(1) in the answer count. The HTTP status is committed before
+// the first row, so failures after that point are reported in the
+// trailing summary record; client disconnects cancel the request
+// context, which closes the cursor and records a tx.query.stream.abort.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, req *Request, ws *core.Workspace, tok pageToken) {
+	cur, err := ws.WithObserver(s.reg).QueryStream(r.Context(), req.Src)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	defer cur.Close()
+	s.reg.Counter("server.query.streamed").Inc()
+	limit := s.effectiveLimit(req, true)
+	sum := StreamSummary{OK: true, Limit: limit, RequestID: requestIDFrom(r.Context())}
+
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, streamFlushBytes)
+	fail := func(err error) {
+		_, code := statusFor(err)
+		s.reg.Counter("server.errors." + code).Inc()
+		sum.OK, sum.Error, sum.Code = false, err.Error(), code
+		s.finishStream(w, bw, r, &sum)
+	}
+
+	// A resumed page skips the rows previous pages delivered. On the
+	// pipelined fast path this discards them as they are produced; the
+	// materialized fallback skips within the already-built relation.
+	for skipped := int64(0); skipped < tok.Offset; skipped++ {
+		if err := r.Context().Err(); err != nil {
+			fail(err)
+			return
+		}
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+	}
+	if err := cur.Err(); err != nil {
+		fail(err)
+		return
+	}
+
+	scratch := make([]byte, 0, 256)
+	unflushed := 0
+	truncated := false
+	for {
+		if err := r.Context().Err(); err != nil {
+			fail(err)
+			return
+		}
+		if limit > 0 && sum.Rows >= int64(limit) {
+			// Peek one row past the cap to decide whether a next page
+			// exists at all.
+			if _, ok := cur.Next(); ok {
+				truncated = true
+			}
+			break
+		}
+		t, ok := cur.Next()
+		if !ok {
+			break
+		}
+		scratch = append(scratch[:0], `{"row":`...)
+		scratch = appendRowJSON(scratch, t)
+		scratch = append(scratch, '}', '\n')
+		if _, err := bw.Write(scratch); err != nil {
+			fail(err)
+			return
+		}
+		sum.Rows++
+		sum.Bytes += int64(len(scratch))
+		unflushed += len(scratch)
+		if req.MaxResultBytes > 0 && sum.Bytes >= req.MaxResultBytes {
+			truncated = true
+			break
+		}
+		if unflushed >= streamFlushBytes {
+			unflushed = 0
+			bw.Flush()
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		fail(err)
+		return
+	}
+	if truncated {
+		sum.Truncated = true
+		sum.NextCursor = encodePageToken(pageToken{Branch: tok.Branch, Version: ws.Version(), Offset: tok.Offset + sum.Rows})
+	}
+	s.reg.Counter("server.stream.rows").Add(sum.Rows)
+	s.reg.Counter("server.stream.bytes").Add(sum.Bytes)
+	s.finishStream(w, bw, r, &sum)
+}
+
+// finishStream writes the trailing summary record and flushes everything
+// to the client. Write errors are unreportable at this point (the
+// connection is the thing that failed) and deliberately dropped.
+func (s *Server) finishStream(w http.ResponseWriter, bw *bufio.Writer, r *http.Request, sum *StreamSummary) {
+	b, err := json.Marshal(StreamTrailer{Summary: sum})
+	if err != nil {
+		return
+	}
+	bw.Write(b)
+	bw.WriteByte('\n')
+	bw.Flush()
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -154,7 +154,7 @@ func (s *Server) inlineTrace(r *http.Request) *obs.SpanSnapshot {
 // /metrics it stays outside the worker pool and ignores drain mode.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", "")
+		writeErrorCode(w, http.StatusMethodNotAllowed, "bad_request", "GET required", requestID(r))
 		return
 	}
 	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/trace"), "/")

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"logicblox/internal/core"
 	"logicblox/internal/obs"
@@ -29,6 +31,22 @@ type Request struct {
 	// loop stops at the next iteration boundary and the request fails
 	// with 504.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Limit caps the answer rows of /query. Absent: the server's
+	// default cap applies to materialized responses (streams are
+	// uncapped). Zero or negative: explicitly uncapped. Positive: that
+	// many rows, with a next_cursor when more exist.
+	Limit *int `json:"limit,omitempty"`
+	// Cursor resumes a paged /query from where a previous response's
+	// next_cursor left off. The token pins the snapshot version, so
+	// pages are consistent; a version evicted from history fails 410
+	// stale_cursor.
+	Cursor string `json:"cursor,omitempty"`
+	// MaxResultBytes, when > 0, truncates a /query response once its
+	// encoded rows exceed this many bytes (a next_cursor continues).
+	MaxResultBytes int64 `json:"max_result_bytes,omitempty"`
+	// Stream asks /query for a chunked NDJSON response (equivalent to
+	// ?stream=1 or Accept: application/x-ndjson).
+	Stream bool `json:"stream,omitempty"`
 }
 
 // CheckWarning is one advisory finding of POST /check: the warning-tier
@@ -84,11 +102,68 @@ type ExecResponse struct {
 	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
 }
 
-// QueryResponse carries a query's answer tuples.
+// QueryResponse carries a query's answer tuples (the materialized JSON
+// envelope; streamed queries use NDJSON StreamRow/StreamSummary records
+// instead).
 type QueryResponse struct {
-	OK    bool              `json:"ok"`
-	Rows  [][]any           `json:"rows"`
-	Trace *obs.SpanSnapshot `json:"trace,omitempty"`
+	OK   bool    `json:"ok"`
+	Rows [][]any `json:"rows"`
+	// RowCount is len(Rows) — the rows in this page, not the full
+	// result.
+	RowCount int `json:"row_count,omitempty"`
+	// Limit is the row cap that was applied (the request's, or the
+	// server default); 0 means uncapped.
+	Limit int `json:"limit,omitempty"`
+	// Truncated reports that the result was cut off by limit or
+	// max_result_bytes; NextCursor resumes it.
+	Truncated  bool              `json:"truncated,omitempty"`
+	NextCursor string            `json:"next_cursor,omitempty"`
+	Trace      *obs.SpanSnapshot `json:"trace,omitempty"`
+}
+
+// queryWire is the server-side encoding twin of QueryResponse: Rows is a
+// pre-encoded JSON array so answer tuples are serialized by the direct
+// appendRowJSON encoder (one buffer, no per-value boxing) instead of
+// [][]any through encoding/json. Clients decode into QueryResponse; the
+// bytes are identical.
+type queryWire struct {
+	OK         bool              `json:"ok"`
+	Rows       json.RawMessage   `json:"rows"`
+	RowCount   int               `json:"row_count,omitempty"`
+	Limit      int               `json:"limit,omitempty"`
+	Truncated  bool              `json:"truncated,omitempty"`
+	NextCursor string            `json:"next_cursor,omitempty"`
+	Trace      *obs.SpanSnapshot `json:"trace,omitempty"`
+}
+
+// StreamRow is one NDJSON record of a streamed /query response: a single
+// answer tuple. Rows arrive in ascending lexicographic order, duplicates
+// removed — the same sequence, value for value, as the materialized
+// envelope's rows.
+type StreamRow struct {
+	Row []any `json:"row"`
+}
+
+// StreamSummary is the final NDJSON record of a streamed /query
+// response, wrapped as {"summary": {...}}. OK=false carries the error
+// and its stable code (mid-stream failures can no longer change the
+// HTTP status — the 200 header is long gone).
+type StreamSummary struct {
+	OK         bool   `json:"ok"`
+	Rows       int64  `json:"rows"`
+	Bytes      int64  `json:"bytes"`
+	Limit      int    `json:"limit,omitempty"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	NextCursor string `json:"next_cursor,omitempty"`
+	RequestID  string `json:"request_id,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Code       string `json:"code,omitempty"`
+}
+
+// StreamTrailer frames the summary record so it is distinguishable from
+// row records by key.
+type StreamTrailer struct {
+	Summary *StreamSummary `json:"summary"`
 }
 
 // BranchesResponse lists branches, or reports a branch operation.
@@ -117,11 +192,11 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable identifier: no_such_branch, conflict, parse,
 	// typecheck, constraint, timeout, busy, unavailable, bad_request,
-	// no_such_trace, internal.
+	// bad_cursor, stale_cursor, no_such_trace, internal.
 	Code string `json:"code"`
 	// RequestID correlates the failure with its access-log line and the
-	// retained trace at GET /debug/trace/{id} (empty outside a request
-	// scope, e.g. a bare method-not-allowed).
+	// retained trace at GET /debug/trace/{id}. Every error envelope
+	// carries one (client-supplied X-Request-ID or server-generated).
 	RequestID string `json:"request_id,omitempty"`
 }
 
@@ -166,6 +241,66 @@ func rowsJSON(rows []tuple.Tuple) [][]any {
 		out[i] = row
 	}
 	return out
+}
+
+// appendRowJSON encodes one answer tuple as a JSON array directly into
+// dst — the hot path of both query responses. Byte-for-byte identical to
+// encoding/json over rowsJSON's [][]any (including HTML escaping), but
+// with no per-value interface boxing and no reflection for the common
+// kinds.
+func appendRowJSON(dst []byte, t tuple.Tuple) []byte {
+	dst = append(dst, '[')
+	for j, v := range t {
+		if j > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendValueJSON(dst, v)
+	}
+	return append(dst, ']')
+}
+
+func appendValueJSON(dst []byte, v tuple.Value) []byte {
+	switch v.Kind() {
+	case tuple.KindBool:
+		if v.AsBool() {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case tuple.KindInt:
+		return strconv.AppendInt(dst, v.AsInt(), 10)
+	case tuple.KindFloat:
+		// encoding/json's float format has bespoke exponent rules;
+		// delegate to keep the bytes identical.
+		b, _ := json.Marshal(v.AsFloat())
+		return append(dst, b...)
+	case tuple.KindString:
+		return appendStringJSON(dst, v.AsString())
+	case tuple.KindEntity:
+		dst = append(dst, `"entity(`...)
+		dst = strconv.AppendUint(dst, uint64(v.EntityType()), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendUint(dst, uint64(v.EntityOrdinal()), 10)
+		return append(dst, `)"`...)
+	default:
+		return append(dst, "null"...)
+	}
+}
+
+// appendStringJSON writes s as a JSON string. Strings of plain printable
+// ASCII append directly; anything needing escapes (controls, quotes,
+// non-ASCII, and the <>& that encoding/json HTML-escapes by default)
+// falls back to json.Marshal so the output matches it byte for byte.
+func appendStringJSON(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, _ := json.Marshal(s)
+			return append(dst, b...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
 }
 
 func deltasJSON(deltas map[string]core.ExecDelta) map[string]Delta {

@@ -20,7 +20,11 @@
 //
 // Every transaction method has a context-aware form (ExecCtx, QueryCtx,
 // AddBlockCtx) whose deadline or cancellation is honored inside the
-// engine's fixpoint loops at iteration boundaries. Failures carry typed
+// engine's fixpoint loops at iteration boundaries. QueryStream runs a
+// read-only query as a pull cursor (Next/Err/Close) that pipelines
+// rows straight from the join iterators without materializing the
+// result; Query/QueryCtx drain the same cursor into a slice. Failures
+// carry typed
 // sentinel errors (ErrParse, ErrTypecheck, ErrConflict, ErrNoSuchBranch,
 // ErrConstraint) matchable with errors.Is. cmd/lb-serve exposes the same
 // surface over HTTP; see docs/server.md.
