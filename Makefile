@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke repair-test stream-test
+.PHONY: ci build vet test race fmt-check bench difftest serve-test durable-test lint bench-smoke repair-test stream-test replica-test
 
-ci: fmt-check lint build race difftest serve-test durable-test repair-test bench-smoke stream-test
+ci: fmt-check lint build race difftest serve-test durable-test repair-test bench-smoke stream-test replica-test
 
 # The static-analysis gate: go vet plus the repository's own analyzer
 # suite (immutable, errwrap, ctxloop, obssafe, cursorclose — see
@@ -64,6 +64,18 @@ repair-test:
 # for the recorded 1M-row run) — race-detector on.
 stream-test:
 	$(GO) test -race -run 'TestIter|TestStreamRule|TestQueryStream|TestQueryPagination|TestQueryCursorErrors|TestQueryDefaultLimit|TestQueryMaxResultBytes|TestStreamDisconnectReleasesWorker|TestV1Aliases|TestAppendRowJSON|TestStreamConstantMemory|TestBenchStream' -count=1 ./internal/lftj/ ./internal/engine/ ./internal/core/ ./internal/server/ ./internal/bench/
+
+# The replication suite: tail-frame codec and torn-final-frame sweep,
+# journal tail cursor and truncation coordination, follower unit tests
+# against a scripted fake primary (torn frames, 410 resync, backoff),
+# the primary + two followers end-to-end suite (exactly-once replay,
+# lag-aware health, stale-read 503, resync past a paused follower),
+# drain-ends-tail-streams, bench replica routing, and the warm-standby
+# failover property test (primary killed at every fault-injected crash
+# point; the promoted follower must hold exactly the acked commits) —
+# race-detector on. See docs/replication.md.
+replica-test:
+	$(GO) test -race -run 'TestTail|TestWaitSeq|TestFollower|TestReplication|TestPromote|TestAutoPromote|TestDrainEndsTailStreams|TestFailoverEveryCrashPoint|TestBenchReplicaRouting' -count=1 ./internal/durable/ ./internal/replica/ ./internal/server/ ./internal/bench/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,13 +13,18 @@
 //	         [-c 8] [-rate 200] [-ops 1000] [-duration 0]
 //	         [-read-frac 0.5] [-keys 64] [-hot-frac 0.5] [-branches 1]
 //	         [-stream] [-scan-frac 0] [-queue-sample 100ms] [-setup]
+//	         [-replica-urls http://r1:8081,http://r2:8082]
 //	         [-out report.json]
 //
 // With -stream, query operations use the chunked NDJSON response and
 // the report totals rows/bytes received; -scan-frac makes that fraction
 // of queries full scans, whose result sizes make the streamed vs
 // materialized memory difference visible in the sampled go.heap_inuse
-// gauge.
+// gauge. With -replica-urls, the read fraction is routed round-robin
+// across the listed read replicas (writes still go to -url) and the
+// report adds per-target latency summaries plus the maximum
+// replica.lag_seq observed on any replica's /healthz during the run.
+// See docs/replication.md.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"flag"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"logicblox/internal/bench"
@@ -49,8 +55,18 @@ func main() {
 	scanFrac := flag.Float64("scan-frac", 0, "fraction of queries that scan the whole relation")
 	queueSample := flag.Duration("queue-sample", 100*time.Millisecond, "queue-depth/heap gauge polling period (0 disables)")
 	setup := flag.Bool("setup", true, "install the bench schema and branches before running")
+	replicaURLs := flag.String("replica-urls", "", "comma-separated read-replica base URLs; reads round-robin across them")
 	out := flag.String("out", "", "also write the JSON report to this file")
 	flag.Parse()
+
+	var replicas []string
+	if *replicaURLs != "" {
+		for _, u := range strings.Split(*replicaURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, u)
+			}
+		}
+	}
 
 	r := &bench.Runner{Config: bench.Config{
 		BaseURL:     *url,
@@ -67,6 +83,7 @@ func main() {
 		Stream:      *stream,
 		ScanFrac:    *scanFrac,
 		QueueSample: *queueSample,
+		ReplicaURLs: replicas,
 	}}
 
 	if *setup {

@@ -13,6 +13,8 @@
 //	          [-checkpoint-every 256] [-checkpoint-interval 30s]
 //	          [-generations 3]]
 //	         [-snapshot file]
+//	         [-follow http://primary:8080 [-staleness-bound 10s]
+//	          [-promote-on-failure] [-probe-interval 2s]]
 //
 // Observability: -access-log writes one JSON line per request (slog);
 // -slow-query additionally logs any slower request with its full span
@@ -29,7 +31,18 @@
 // file at startup (if it exists) and written back there — atomically
 // and fsynced — on shutdown; nothing is durable in between. On
 // SIGINT/SIGTERM the server drains: new requests get 503 + Retry-After
-// while in-flight transactions finish.
+// while in-flight transactions finish, and open /journal/tail streams
+// end with a clean end-of-stream frame.
+//
+// With -follow, the server runs as a read replica: it bootstraps from
+// the primary's snapshot, tails its commit journal over
+// GET /journal/tail, replays records through the normal transaction
+// path, and serves read-only queries — writes are rejected 421 with
+// the primary's address. When replication has not caught up within
+// -staleness-bound, /healthz and /query flip to 503 so load balancers
+// route around the stale replica. POST /promote (or
+// -promote-on-failure with -probe-interval) turns the follower into a
+// writable primary; see docs/replication.md for the failover runbook.
 package main
 
 import (
@@ -37,6 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
 	"net/http"
@@ -49,6 +63,7 @@ import (
 	"logicblox"
 	"logicblox/internal/core"
 	"logicblox/internal/durable"
+	"logicblox/internal/replica"
 	"logicblox/internal/server"
 )
 
@@ -73,10 +88,17 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log requests slower than this with their span tree (needs -access-log; <=0 disables)")
 	traceSample := flag.Int("trace-sample", 1, "keep 1 in N finished root spans in the trace ring (1 = every request)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	follow := flag.String("follow", "", "run as a read replica tailing this primary base URL (requires -data-dir; see docs/replication.md)")
+	stalenessBound := flag.Duration("staleness-bound", 10*time.Second, "follower: flip /healthz and /query to 503 when not caught up for this long")
+	promoteOnFailure := flag.Bool("promote-on-failure", false, "follower: auto-promote to primary after consecutive primary health-probe failures")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "follower: primary health-probe period for -promote-on-failure")
 	flag.Parse()
 
 	if *dataDir != "" && *snapshot != "" {
 		log.Fatalf("lb-serve: -data-dir and -snapshot are mutually exclusive (the data directory manages its own snapshots)")
+	}
+	if *follow != "" && *dataDir == "" {
+		log.Fatalf("lb-serve: -follow requires -data-dir (the follower journals replayed commits locally)")
 	}
 
 	reg := logicblox.NewObsRegistry()
@@ -101,12 +123,34 @@ func main() {
 			CheckpointInterval: *ckptInterval,
 			Generations:        *generations,
 			Obs:                reg,
-		}, *adaptive)
+		}, *adaptive, *follow == "")
 	} else {
 		db, err = openDatabase(*snapshot, *adaptive)
 	}
 	if err != nil {
 		log.Fatalf("lb-serve: %v", err)
+	}
+
+	var follower *replica.Follower
+	if *follow != "" {
+		follower, err = replica.New(replica.Config{
+			PrimaryURL:       *follow,
+			Store:            store,
+			DB:               db,
+			StalenessBound:   *stalenessBound,
+			PromoteOnFailure: *promoteOnFailure,
+			ProbeInterval:    *probeInterval,
+			Obs:              reg,
+			Logger:           logger,
+		})
+		if err != nil {
+			log.Fatalf("lb-serve: %v", err)
+		}
+		// The background checkpointer must snapshot whatever database the
+		// follower currently serves — a resync swaps the pointer.
+		store.Start(func(w io.Writer) (uint64, error) { return follower.DB().SaveSnapshot(w) })
+		follower.Start(context.Background())
+		log.Printf("lb-serve: following %s (staleness bound %s)", *follow, *stalenessBound)
 	}
 
 	s := server.New(db, server.Config{
@@ -120,6 +164,7 @@ func main() {
 		Durable:       store,
 		AccessLog:     logger,
 		SlowQuery:     *slowQuery,
+		Follower:      follower,
 	})
 
 	if *debugAddr != "" {
@@ -145,6 +190,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("lb-serve: shutdown: %v", err)
+	}
+	if follower != nil {
+		follower.Stop()
 	}
 
 	if store != nil {
@@ -208,7 +256,10 @@ func serveDebug(addr string) {
 // describes (newest valid snapshot generation + journal replay), hooks
 // the journal into the commit path and starts the background
 // checkpointer.
-func openDurable(dir string, opts durable.Options, adaptive bool) (*durable.Store, *core.Database, error) {
+// In follower mode (primary=false) the commit hook and checkpointer are
+// left to the caller: the replica subsystem journals replayed records
+// itself and owns the database pointer.
+func openDurable(dir string, opts durable.Options, adaptive, primary bool) (*durable.Store, *core.Database, error) {
 	store, err := durable.Open(dir, opts)
 	if err != nil {
 		return nil, nil, err
@@ -223,8 +274,10 @@ func openDurable(dir string, opts durable.Options, adaptive bool) (*durable.Stor
 	st := store.Stats()
 	log.Printf("lb-serve: recovered %s (snapshot seq %d, %d journal records replayed, %d corrupt generations skipped)",
 		dir, st.RecoveredSnapshotSeq, st.JournalReplayed, st.CorruptSkipped)
-	db.SetCommitHook(store.LogCommit)
-	store.Start(db.SaveSnapshot)
+	if primary {
+		db.SetCommitHook(store.LogCommit)
+		store.Start(db.SaveSnapshot)
+	}
 	return store, db, nil
 }
 

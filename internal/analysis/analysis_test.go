@@ -104,7 +104,7 @@ func TestErrwrapAnalyzer(t *testing.T) {
 }
 
 func TestCtxloopAnalyzer(t *testing.T) {
-	checkFixture(t, CtxloopAnalyzer, "engine", "worker")
+	checkFixture(t, CtxloopAnalyzer, "engine", "worker", "replica")
 }
 
 func TestObssafeAnalyzer(t *testing.T) {
@@ -136,7 +136,8 @@ func TestLoadRealPackage(t *testing.T) {
 func TestSuiteSelfClean(t *testing.T) {
 	pkgs, err := Load("../..",
 		"./internal/treap", "./internal/pmap", "./internal/relation",
-		"./internal/obs", "./internal/engine", "./internal/core", "./internal/server")
+		"./internal/obs", "./internal/engine", "./internal/core", "./internal/server",
+		"./internal/replica")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

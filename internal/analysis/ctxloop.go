@@ -12,9 +12,10 @@ import (
 // commit pins a worker forever (engine.Options.Ctx exists precisely so
 // these loops can stop at iteration boundaries).
 var ctxloopPackages = map[string]bool{
-	"engine": true,
-	"core":   true,
-	"server": true,
+	"engine":  true,
+	"core":    true,
+	"server":  true,
+	"replica": true,
 }
 
 // ctxPollNames are callee names that count as polling a context at an

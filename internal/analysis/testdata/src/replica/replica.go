@@ -1,0 +1,60 @@
+// Package replica is a ctxloop-analyzer fixture: the follower's tail
+// and retry loops run for the life of the process, so its name is in
+// the checked set — an unbounded loop here that never polls a context
+// would keep tailing a dead primary after Stop.
+package replica
+
+import "time"
+
+type ctx struct{}
+
+func (c *ctx) Err() error            { return nil }
+func (c *ctx) Done() <-chan struct{} { return nil }
+
+func badTailLoop(connect func() error) {
+	for { // want: never polls a context
+		if err := connect(); err != nil {
+			continue
+		}
+	}
+}
+
+func badDrain(fetch func() []int) {
+	// The catch-up drain shape: pending is refilled by the body, so the
+	// loop runs as long as the primary keeps producing.
+	pending := fetch()
+	for len(pending) > 0 { // want: never polls a context
+		pending = fetch()
+	}
+}
+
+func okTailLoop(c *ctx, connect func() error) {
+	for c.Err() == nil {
+		if err := connect(); err != nil {
+			continue
+		}
+	}
+}
+
+func okBackoffSelect(c *ctx, try func() bool) {
+	backoff := 50 * time.Millisecond
+	for !try() {
+		select {
+		case <-c.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+func okProbeTicker(c *ctx, probe func() bool, tick <-chan time.Time) {
+	for {
+		select {
+		case <-c.Done():
+			return
+		case <-tick:
+			probe()
+		}
+	}
+}

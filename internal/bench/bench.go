@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,6 +75,13 @@ type Config struct {
 	// difference visible. Drawn from a separate PRNG stream so setting
 	// it does not perturb the op sequence of existing seeds.
 	ScanFrac float64 `json:"scan_frac,omitempty"`
+	// ReplicaURLs routes the read fraction round-robin across these
+	// read-replica base URLs instead of the primary; writes always go to
+	// BaseURL. The report then carries per-target latency summaries and
+	// the max replica lag observed on each replica's /healthz during the
+	// run. Routing does not perturb the op sequence: the same seed still
+	// generates the same ops, they just land on different targets.
+	ReplicaURLs []string `json:"replica_urls,omitempty"`
 }
 
 func (c *Config) withDefaults() Config {
@@ -211,6 +219,7 @@ func (op Op) request() (path string, body map[string]any) {
 // sample is one completed operation.
 type sample struct {
 	endpoint string
+	target   string // base URL the op was sent to
 	latency  time.Duration
 	status   int
 	retries  int
@@ -262,6 +271,16 @@ type Report struct {
 	// server-side memory profile of the run.
 	HeapInuse    []int64 `json:"heap_inuse,omitempty"`
 	HeapInuseMax int64   `json:"heap_inuse_max,omitempty"`
+	// Targets holds per-target latency summaries when ReplicaURLs routes
+	// reads across replicas: one entry per base URL that received ops
+	// (the primary's entry covers the writes).
+	Targets map[string]EndpointStats `json:"targets,omitempty"`
+	// ReplicaLagMax maps each replica URL to the maximum replica.lag_seq
+	// its /healthz reported during the run; ReplicaLagMaxSeq is the
+	// fleet-wide maximum — how far behind the freshest write any served
+	// read could have been.
+	ReplicaLagMax    map[string]int64 `json:"replica_lag_max,omitempty"`
+	ReplicaLagMaxSeq int64            `json:"replica_lag_max_seq,omitempty"`
 }
 
 // Runner drives one benchmark run against a live server.
@@ -270,6 +289,18 @@ type Runner struct {
 	// Client defaults to a dedicated http.Client with generous
 	// connection reuse; tests inject the httptest client.
 	Client *http.Client
+
+	rr atomic.Uint64 // round-robin cursor over ReplicaURLs
+}
+
+// target picks the base URL for one op: writes (and everything else)
+// go to the primary; reads round-robin across ReplicaURLs when set.
+func (r *Runner) target(op Op) string {
+	if op.Kind == "query" && len(r.Config.ReplicaURLs) > 0 {
+		urls := r.Config.ReplicaURLs
+		return urls[int((r.rr.Add(1)-1)%uint64(len(urls)))]
+	}
+	return r.Config.BaseURL
 }
 
 func (r *Runner) client() *http.Client {
@@ -346,7 +377,7 @@ func (r *Runner) runOp(c *http.Client, base string, op Op) sample {
 		// Transport-level failure: count as a 5xx-equivalent.
 		status = 599
 	}
-	return sample{endpoint: path[1:], latency: lat, status: status, retries: ans.Retries}
+	return sample{endpoint: path[1:], target: base, latency: lat, status: status, retries: ans.Retries}
 }
 
 // runStreamOp drives one NDJSON-streamed query: rows are consumed line
@@ -355,7 +386,7 @@ func (r *Runner) runOp(c *http.Client, base string, op Op) sample {
 // reporting a mid-stream failure counts like a 5xx (the HTTP status was
 // already committed as 200 when it happened).
 func (r *Runner) runStreamOp(c *http.Client, base, path string, body map[string]any) sample {
-	s := sample{endpoint: "query.stream"}
+	s := sample{endpoint: "query.stream", target: base}
 	buf, err := json.Marshal(body)
 	if err != nil {
 		s.status = 599
@@ -421,6 +452,45 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		heaps   []int64
 	)
 	sampleCtx, stopSampling := context.WithCancel(ctx)
+
+	// Replica lag poller: with reads routed across replicas, sample each
+	// replica's /healthz replica.lag_seq through the run and keep the
+	// per-target maximum — the observed staleness envelope of the reads.
+	var (
+		lagMu  sync.Mutex
+		lagMax map[string]int64
+	)
+	var lagDone chan struct{}
+	if len(cfg.ReplicaURLs) > 0 {
+		lagMax = make(map[string]int64, len(cfg.ReplicaURLs))
+		period := cfg.QueueSample
+		if period <= 0 {
+			period = 100 * time.Millisecond
+		}
+		lagDone = make(chan struct{})
+		go func() {
+			defer close(lagDone)
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampleCtx.Done():
+					return
+				case <-tick.C:
+					for _, u := range cfg.ReplicaURLs {
+						if lag, ok := replicaLag(c, u); ok {
+							lagMu.Lock()
+							if cur, seen := lagMax[u]; !seen || lag > cur {
+								lagMax[u] = lag
+							}
+							lagMu.Unlock()
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	var samplerDone chan struct{}
 	if cfg.QueueSample > 0 {
 		samplerDone = make(chan struct{})
@@ -458,10 +528,15 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if samplerDone != nil {
 		<-samplerDone
 	}
+	if lagDone != nil {
+		<-lagDone
+	}
 
 	depthMu.Lock()
 	defer depthMu.Unlock()
-	return buildReport(cfg, elapsed, samples[:done], depths, heaps), nil
+	lagMu.Lock()
+	defer lagMu.Unlock()
+	return buildReport(cfg, elapsed, samples[:done], depths, heaps, lagMax), nil
 }
 
 // runClosed drives the op sequence with a fixed worker pool: each worker
@@ -488,7 +563,7 @@ func (r *Runner) runClosed(ctx context.Context, c *http.Client, cfg Config, ops 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				s := r.runOp(c, cfg.BaseURL, ops[i])
+				s := r.runOp(c, r.target(ops[i]), ops[i])
 				mu.Lock()
 				samples[i] = s
 				completed[i] = true
@@ -530,7 +605,7 @@ launch:
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s := r.runOp(c, cfg.BaseURL, ops[i])
+			s := r.runOp(c, r.target(ops[i]), ops[i])
 			mu.Lock()
 			samples[i] = s
 			completed[i] = true
@@ -545,6 +620,26 @@ launch:
 		}
 	}
 	return done
+}
+
+// replicaLag reads replica.lag_seq from one replica's /healthz. A 503
+// still carries the replica section (that is how a stale follower
+// answers), so the body is parsed regardless of status.
+func replicaLag(c *http.Client, base string) (int64, bool) {
+	resp, err := c.Get(base + "/healthz")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Replica *struct {
+			LagSeq int64 `json:"lag_seq"`
+		} `json:"replica"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || doc.Replica == nil {
+		return 0, false
+	}
+	return doc.Replica.LagSeq, true
 }
 
 // serverGauges reads the gauge map from /debug/vars (each GET also
@@ -581,7 +676,27 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths, heaps []int64) *Report {
+func endpointStats(lats []time.Duration, elapsed time.Duration) EndpointStats {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	st := EndpointStats{
+		Count:  len(lats),
+		MeanMs: ms(sum / time.Duration(len(lats))),
+		P50Ms:  ms(percentile(lats, 0.50)),
+		P95Ms:  ms(percentile(lats, 0.95)),
+		P99Ms:  ms(percentile(lats, 0.99)),
+		MaxMs:  ms(lats[len(lats)-1]),
+	}
+	if elapsed > 0 {
+		st.Throughput = float64(len(lats)) / elapsed.Seconds()
+	}
+	return st
+}
+
+func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths, heaps []int64, lagMax map[string]int64) *Report {
 	rep := &Report{
 		Config:       cfg,
 		ElapsedMs:    ms(elapsed),
@@ -595,8 +710,12 @@ func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths, he
 		rep.Throughput = float64(len(samples)) / elapsed.Seconds()
 	}
 	byEndpoint := make(map[string][]time.Duration)
+	byTarget := make(map[string][]time.Duration)
 	for _, s := range samples {
 		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
+		if len(cfg.ReplicaURLs) > 0 && s.target != "" {
+			byTarget[s.target] = append(byTarget[s.target], s.latency)
+		}
 		rep.StatusCounts[s.status]++
 		rep.Retries += s.retries
 		rep.StreamRows += s.rows
@@ -612,23 +731,21 @@ func buildReport(cfg Config, elapsed time.Duration, samples []sample, depths, he
 		}
 	}
 	for ep, lats := range byEndpoint {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var sum time.Duration
-		for _, l := range lats {
-			sum += l
+		rep.Endpoints[ep] = endpointStats(lats, elapsed)
+	}
+	if len(byTarget) > 0 {
+		rep.Targets = make(map[string]EndpointStats, len(byTarget))
+		for target, lats := range byTarget {
+			rep.Targets[target] = endpointStats(lats, elapsed)
 		}
-		st := EndpointStats{
-			Count:  len(lats),
-			MeanMs: ms(sum / time.Duration(len(lats))),
-			P50Ms:  ms(percentile(lats, 0.50)),
-			P95Ms:  ms(percentile(lats, 0.95)),
-			P99Ms:  ms(percentile(lats, 0.99)),
-			MaxMs:  ms(lats[len(lats)-1]),
+	}
+	if len(lagMax) > 0 {
+		rep.ReplicaLagMax = lagMax
+		for _, lag := range lagMax {
+			if lag > rep.ReplicaLagMaxSeq {
+				rep.ReplicaLagMaxSeq = lag
+			}
 		}
-		if elapsed > 0 {
-			st.Throughput = float64(len(lats)) / elapsed.Seconds()
-		}
-		rep.Endpoints[ep] = st
 	}
 	for _, d := range depths {
 		if d > rep.QueueDepthMax {

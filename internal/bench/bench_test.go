@@ -9,7 +9,10 @@ import (
 	"time"
 
 	"logicblox/internal/core"
+	"logicblox/internal/durable"
+	"logicblox/internal/durable/faultfs"
 	"logicblox/internal/obs"
+	"logicblox/internal/replica"
 	"logicblox/internal/server"
 )
 
@@ -208,5 +211,140 @@ func TestBenchStream(t *testing.T) {
 		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("op %d diverged once ScanFrac was set: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestBenchReplicaRouting: with ReplicaURLs set, the read fraction is
+// routed round-robin across the replicas (writes stay on the primary),
+// the report carries per-target latency summaries, and the lag poller
+// records each replica's observed max lag.
+func TestBenchReplicaRouting(t *testing.T) {
+	pst, err := durable.Open("data", durable.Options{
+		FS: faultfs.New(), Generations: 2, CheckpointEvery: -1, CheckpointInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pst.Close() })
+	pdb, err := pst.Recover(func() (*core.Database, error) { return core.NewDatabase(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdb.SetCommitHook(pst.LogCommit)
+	ps := server.New(pdb, server.Config{
+		Durable: pst, Workers: 4, TailWindow: 2 * time.Second, TailHeartbeat: 20 * time.Millisecond,
+	})
+	pts := httptest.NewServer(ps.Handler())
+	defer pts.Close()
+
+	var replicaURLs []string
+	var fols []*replica.Follower
+	for i := 0; i < 2; i++ {
+		fst, err := durable.Open("fdata", durable.Options{
+			FS: faultfs.New(), Generations: 2, CheckpointEvery: -1, CheckpointInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fst.Close() })
+		fdb, err := fst.Recover(func() (*core.Database, error) { return core.NewDatabase(), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		fol, err := replica.New(replica.Config{
+			PrimaryURL: pts.URL, Store: fst, DB: fdb,
+			StalenessBound: time.Minute, PollWindow: time.Second, Obs: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fol.Start(context.Background())
+		t.Cleanup(fol.Stop)
+		fs := server.New(fdb, server.Config{Follower: fol, Durable: fst, Workers: 4, Obs: reg})
+		fts := httptest.NewServer(fs.Handler())
+		t.Cleanup(fts.Close)
+		replicaURLs = append(replicaURLs, fts.URL)
+		fols = append(fols, fol)
+	}
+
+	r := &Runner{
+		Config: Config{
+			BaseURL:     pts.URL,
+			Seed:        11,
+			Mode:        ModeClosed,
+			Concurrency: 4,
+			Ops:         200,
+			Keys:        16,
+			ReadFrac:    0.6,
+			QueueSample: 2 * time.Millisecond,
+			ReplicaURLs: replicaURLs,
+		},
+		Client: pts.Client(),
+	}
+	if err := r.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	// Let both followers replay the schema install before reads land on
+	// them, so no read 503s as never-caught-up stale.
+	head := pst.Stats().LastSeq
+	deadline := time.Now().Add(10 * time.Second)
+	for _, fol := range fols {
+		for fol.Status().AppliedSeq < head {
+			if time.Now().After(deadline) {
+				t.Fatal("follower did not catch up with bench schema")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors5xx != 0 {
+		t.Fatalf("Errors5xx = %d, statuses %v", rep.Errors5xx, rep.StatusCounts)
+	}
+
+	// Every target got ops: the primary exactly the writes, the replicas
+	// the reads split round-robin.
+	if len(rep.Targets) != 3 {
+		t.Fatalf("targets = %v, want primary + 2 replicas", rep.Targets)
+	}
+	execCount := rep.Endpoints["exec"].Count
+	queryCount := rep.Endpoints["query"].Count
+	if execCount == 0 || queryCount == 0 {
+		t.Fatalf("op mix missing a kind: %v", rep.Endpoints)
+	}
+	if got := rep.Targets[pts.URL].Count; got != execCount {
+		t.Fatalf("primary received %d ops, want the %d writes only", got, execCount)
+	}
+	var replicaOps int
+	for _, u := range replicaURLs {
+		st := rep.Targets[u]
+		if st.Count == 0 {
+			t.Fatalf("replica %s received no reads: %v", u, rep.Targets)
+		}
+		if st.P50Ms <= 0 || st.P50Ms > st.MaxMs {
+			t.Fatalf("replica %s percentiles malformed: %+v", u, st)
+		}
+		replicaOps += st.Count
+	}
+	if replicaOps != queryCount {
+		t.Fatalf("replicas received %d ops, want all %d reads", replicaOps, queryCount)
+	}
+	// Round-robin balance: with 2 replicas the split is even within one.
+	d := rep.Targets[replicaURLs[0]].Count - rep.Targets[replicaURLs[1]].Count
+	if d < -1 || d > 1 {
+		t.Fatalf("round-robin imbalance: %d vs %d reads",
+			rep.Targets[replicaURLs[0]].Count, rep.Targets[replicaURLs[1]].Count)
+	}
+
+	// The lag poller sampled both replicas' /healthz.
+	if len(rep.ReplicaLagMax) != 2 {
+		t.Fatalf("replica lag map = %v, want both replicas sampled", rep.ReplicaLagMax)
+	}
+	if rep.ReplicaLagMaxSeq < 0 {
+		t.Fatalf("ReplicaLagMaxSeq = %d", rep.ReplicaLagMaxSeq)
 	}
 }

@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,9 @@ import (
 	"logicblox/internal/core"
 	"logicblox/internal/obs"
 )
+
+// ErrClosed reports an operation on a store that has been Closed.
+var ErrClosed = errors.New("durable: store is closed")
 
 // Fsync policies for the commit journal.
 const (
@@ -82,6 +86,7 @@ type Stats struct {
 	CorruptSkipped       int    `json:"corrupt_skipped"`
 	// Live state.
 	LastSeq            uint64 `json:"last_seq"`
+	RetainedFloor      uint64 `json:"retained_floor"`
 	PendingCommits     int    `json:"pending_commits"`
 	Generations        int    `json:"generations"`
 	LastCheckpointSeq  uint64 `json:"last_checkpoint_seq"`
@@ -112,6 +117,15 @@ type Store struct {
 	lastCkpt time.Time
 	closed   bool
 
+	// tail mirrors the journal's records above the retained floor in
+	// memory — the cursor GET /journal/tail streams from, so serving a
+	// follower never rereads the journal file. Populated by Recover,
+	// appended by LogCommit, trimmed by Checkpoint's truncation.
+	tail []core.CommitRecord
+	// notify is closed and replaced under mu whenever the tail grows (or
+	// the store closes): the broadcast WaitSeq long-polls on.
+	notify chan struct{}
+
 	cpMu sync.Mutex // single-flight checkpoints
 
 	recovered Stats // recovery outcome, frozen after Recover
@@ -131,13 +145,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		fsys: opts.FS,
-		reg:  opts.Obs,
-		j:    &journal{fsys: opts.FS, dir: dir},
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
+		dir:    dir,
+		opts:   opts,
+		fsys:   opts.FS,
+		reg:    opts.Obs,
+		j:      &journal{fsys: opts.FS, dir: dir},
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		notify: make(chan struct{}),
 	}
 	seqs, err := listGenerations(s.fsys, dir)
 	if err != nil {
@@ -235,25 +250,29 @@ func (s *Store) Recover(fresh func() (*core.Database, error)) (*core.Database, e
 			s.pending++
 		}
 	}
+	keepAfter := uint64(0)
+	if len(s.genSeqs) > 0 {
+		keepAfter = s.genSeqs[0]
+	}
+	kept := recs[:0:0]
+	for _, rec := range recs {
+		if rec.Seq > keepAfter {
+			kept = append(kept, rec)
+		}
+	}
 	if torn {
 		// The file ends in a torn frame; appends after it would be
 		// unreachable to replay. Rewrite the journal to exactly the
 		// valid records (keeping everything the retained generations
 		// might still need).
-		keepAfter := uint64(0)
-		if len(s.genSeqs) > 0 {
-			keepAfter = s.genSeqs[0]
-		}
-		kept := recs[:0:0]
-		for _, rec := range recs {
-			if rec.Seq > keepAfter {
-				kept = append(kept, rec)
-			}
-		}
 		if err := s.j.rewrite(kept); err != nil {
 			return nil, err
 		}
 	}
+	// Seed the in-memory tail cursor with the records above the retained
+	// floor — what a tailing follower may still be served.
+	s.tail = append([]core.CommitRecord(nil), kept...)
+	s.bumpLocked()
 	s.recovered = Stats{
 		RecoveredSnapshotSeq: snapSeq,
 		JournalReplayed:      replayed,
@@ -273,13 +292,18 @@ func (s *Store) LogCommit(rec core.CommitRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("durable: store is closed")
+		return ErrClosed
 	}
 	if err := s.j.append(rec, s.opts.Fsync == FsyncAlways); err != nil {
 		return err
 	}
 	s.lastSeq = rec.Seq
 	s.pending++
+	// Only a fully journaled (and, under FsyncAlways, fsynced) record
+	// enters the tail cursor: followers can never be streamed a commit
+	// the primary did not acknowledge.
+	s.tail = append(s.tail, rec)
+	s.bumpLocked()
 	s.reg.Counter("durable.journal_appends").Inc()
 	if s.opts.CheckpointEvery > 0 && s.pending >= s.opts.CheckpointEvery {
 		select {
@@ -348,6 +372,8 @@ func (s *Store) Checkpoint(save SaveFunc) error {
 	if err := s.j.rewrite(kept); err != nil {
 		return err
 	}
+	s.tail = append(s.tail[:0:0], kept...)
+	s.bumpLocked()
 	s.pending = pending
 	s.lastCkpt = time.Now()
 	s.reg.Counter("durable.checkpoints").Inc()
@@ -406,12 +432,80 @@ func (s *Store) checkpointLogged(save SaveFunc) {
 	}
 }
 
+// bumpLocked wakes every WaitSeq long-poller. Callers hold s.mu.
+func (s *Store) bumpLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// Floor returns the retained floor: the oldest snapshot generation's
+// sequence number. The journal — and the tail cursor — keep every record
+// strictly after it, so a follower at sequence >= Floor can stream; one
+// behind it must resync from a full snapshot.
+func (s *Store) Floor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floorLocked()
+}
+
+func (s *Store) floorLocked() uint64 {
+	if len(s.genSeqs) == 0 {
+		return 0
+	}
+	return s.genSeqs[0]
+}
+
+// TailSince returns a copy of every journaled record with Seq > fromSeq,
+// in ascending order, plus the current head and floor. A fromSeq below
+// the retained floor is ErrJournalTruncated: checkpointing already
+// dropped records the caller never saw, so streaming would leave a
+// silent gap — the caller must resync from a snapshot instead.
+func (s *Store) TailSince(fromSeq uint64) (recs []core.CommitRecord, head, floor uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	floor = s.floorLocked()
+	if fromSeq < floor {
+		return nil, s.lastSeq, floor, fmt.Errorf("%w: requested > %d, retained > %d", ErrJournalTruncated, fromSeq, floor)
+	}
+	for _, rec := range s.tail {
+		if rec.Seq > fromSeq {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, s.lastSeq, floor, nil
+}
+
+// WaitSeq blocks until a record with Seq > after is journaled, the
+// context ends, or the store closes (reported as ErrClosed so pollers
+// distinguish shutdown from cancellation).
+func (s *Store) WaitSeq(ctx context.Context, after uint64) error {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if s.lastSeq > after {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
 // Stats reports the store's current state (for /healthz and tests).
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.recovered
 	st.LastSeq = s.lastSeq
+	st.RetainedFloor = s.floorLocked()
 	st.PendingCommits = s.pending
 	st.Generations = len(s.genSeqs)
 	if len(s.genSeqs) > 0 {
@@ -433,6 +527,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.bumpLocked() // wake WaitSeq pollers so they see the close
 	s.mu.Unlock()
 	close(s.stop)
 	s.wg.Wait()

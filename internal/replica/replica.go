@@ -1,0 +1,539 @@
+// Package replica implements the follower half of journal-streaming
+// replication. A follower owns a local durable store and database like any
+// lb-serve process, but instead of accepting writes it tails the primary's
+// commit journal over GET /journal/tail and replays each record through
+// core.Database.ApplyRecord — the same deterministic path crash recovery
+// uses — then journals it locally so a follower restart resumes from its
+// own disk. When the primary's checkpointer has truncated the journal past
+// the follower's position (ErrJournalTruncated → HTTP 410), the follower
+// falls back to a full snapshot resync from GET /replica/snapshot instead
+// of diverging silently. Promote seals the tailer and re-opens the local
+// journal read-write, turning the warm standby into a primary.
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logicblox/internal/core"
+	"logicblox/internal/durable"
+	"logicblox/internal/obs"
+)
+
+// ErrPromoted reports an operation that is invalid after promotion.
+var ErrPromoted = errors.New("replica: follower already promoted")
+
+// Config configures a Follower.
+type Config struct {
+	// PrimaryURL is the primary's base URL, e.g. http://db0:8090.
+	PrimaryURL string
+	// Store is the follower's own durable store; replayed records are
+	// journaled into it so restarts resume locally.
+	Store *durable.Store
+	// DB is the database recovered from Store. The follower swaps it for a
+	// fresh one on snapshot resync; read it through Follower.DB.
+	DB *core.Database
+	// StalenessBound flips Stale (and the serving layer's health checks)
+	// when the follower has not been caught up with the primary for this
+	// long. Zero means 10s.
+	StalenessBound time.Duration
+	// PollWindow caps one long-poll tail request; the primary ends the
+	// stream cleanly after this long and the follower reconnects. Zero
+	// means 25s.
+	PollWindow time.Duration
+	// ProbeInterval is how often the auto-promote health probe checks the
+	// primary when PromoteOnFailure is set. Zero means 2s.
+	ProbeInterval time.Duration
+	// ProbeFailures is how many consecutive probe failures trigger
+	// auto-promotion. Zero means 3.
+	ProbeFailures int
+	// PromoteOnFailure enables the auto-promote probe loop.
+	PromoteOnFailure bool
+	// Client issues tail/snapshot/probe requests. Nil means a dedicated
+	// client; per-request timeouts come from contexts, not Client.Timeout.
+	Client *http.Client
+	// Obs receives replica.* gauges and counters (nil-safe).
+	Obs *obs.Registry
+	// Logger receives tailer lifecycle events. Nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Status is the follower's replication state, surfaced on /healthz.
+type Status struct {
+	Primary    string  `json:"primary"`
+	AppliedSeq uint64  `json:"applied_seq"`
+	HeadSeq    uint64  `json:"head_seq"`
+	LagSeq     uint64  `json:"lag_seq"`
+	LagSeconds float64 `json:"lag_seconds"`
+	Stale      bool    `json:"stale"`
+	Connected  bool    `json:"connected"`
+	Resyncs    int64   `json:"resyncs"`
+	Promoted   bool    `json:"promoted"`
+}
+
+// Follower tails a primary and replays its journal locally.
+type Follower struct {
+	cfg    Config
+	client *http.Client
+	log    *slog.Logger
+
+	db atomic.Pointer[core.Database]
+
+	mu         sync.Mutex
+	applied    uint64    // last sequence replayed and journaled locally
+	head       uint64    // primary's head per the latest frame seen
+	caughtUpAt time.Time // last instant applied >= head on a live stream
+	connected  bool
+	promoted   bool
+
+	cancel  context.CancelFunc
+	done    chan struct{} // closed when the tail loop exits
+	probeWG sync.WaitGroup
+
+	lagSeq     *obs.Gauge
+	lagMillis  *obs.Gauge
+	applies    *obs.Counter
+	reconnects *obs.Counter
+	resyncs    *obs.Counter
+	tornFrames *obs.Counter
+	promotions *obs.Counter
+}
+
+// New builds a follower; Start begins tailing.
+func New(cfg Config) (*Follower, error) {
+	if cfg.PrimaryURL == "" {
+		return nil, errors.New("replica: PrimaryURL required")
+	}
+	if _, err := url.Parse(cfg.PrimaryURL); err != nil {
+		return nil, fmt.Errorf("replica: bad primary URL: %w", err)
+	}
+	if cfg.Store == nil || cfg.DB == nil {
+		return nil, errors.New("replica: Store and DB required")
+	}
+	if cfg.StalenessBound <= 0 {
+		cfg.StalenessBound = 10 * time.Second
+	}
+	if cfg.PollWindow <= 0 {
+		cfg.PollWindow = 25 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.ProbeFailures <= 0 {
+		cfg.ProbeFailures = 3
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	f := &Follower{
+		cfg:    cfg,
+		client: client,
+		log:    cfg.Logger.With("component", "replica", "primary", cfg.PrimaryURL),
+		done:   make(chan struct{}),
+	}
+	f.db.Store(cfg.DB)
+	f.applied = cfg.DB.Seq()
+	if r := cfg.Obs; r != nil {
+		f.lagSeq = r.Gauge("replica.lag_seq")
+		f.lagMillis = r.Gauge("replica.lag_ms")
+		f.applies = r.Counter("replica.records_applied")
+		f.reconnects = r.Counter("replica.reconnects")
+		f.resyncs = r.Counter("replica.resyncs")
+		f.tornFrames = r.Counter("replica.torn_frames")
+		f.promotions = r.Counter("replica.promotions")
+	}
+	return f, nil
+}
+
+// DB returns the follower's current database. The pointer changes on
+// snapshot resync, so callers must not cache it across requests.
+func (f *Follower) DB() *core.Database { return f.db.Load() }
+
+// PrimaryURL returns the primary this follower tails.
+func (f *Follower) PrimaryURL() string { return f.cfg.PrimaryURL }
+
+// StalenessBound returns the configured staleness bound.
+func (f *Follower) StalenessBound() time.Duration { return f.cfg.StalenessBound }
+
+// Start launches the tail loop (and the auto-promote probe, if enabled).
+func (f *Follower) Start(ctx context.Context) {
+	ctx, f.cancel = context.WithCancel(ctx)
+	go f.tailLoop(ctx)
+	if f.cfg.PromoteOnFailure {
+		f.probeWG.Add(1)
+		go f.probeLoop(ctx)
+	}
+}
+
+// Stop halts tailing and probing without promoting.
+func (f *Follower) Stop() {
+	if f.cancel != nil {
+		f.cancel()
+		<-f.done
+		f.probeWG.Wait()
+	}
+}
+
+// Status reports the current replication state. Lag in seconds is the
+// time since the follower was last provably caught up with the primary —
+// it keeps growing while disconnected, which is exactly when reads go
+// stale.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		Primary:    f.cfg.PrimaryURL,
+		AppliedSeq: f.applied,
+		HeadSeq:    f.head,
+		Connected:  f.connected,
+		Resyncs:    f.resyncs.Value(),
+		Promoted:   f.promoted,
+	}
+	if f.head > f.applied {
+		st.LagSeq = f.head - f.applied
+	}
+	if f.promoted {
+		return st
+	}
+	if f.caughtUpAt.IsZero() {
+		st.LagSeconds = f.cfg.StalenessBound.Seconds() + 1 // never caught up
+	} else {
+		st.LagSeconds = time.Since(f.caughtUpAt).Seconds()
+	}
+	st.Stale = st.LagSeconds > f.cfg.StalenessBound.Seconds()
+	return st
+}
+
+// Stale reports whether reads on this follower exceed the staleness bound.
+func (f *Follower) Stale() bool { return f.Status().Stale }
+
+// Promoted reports whether this follower has been promoted to primary.
+func (f *Follower) Promoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.promoted
+}
+
+// Promote seals the tailer and re-opens the local journal read-write: the
+// tail loop is stopped, and the store's commit hook is installed so new
+// transactions journal locally. The database keeps the sequence the last
+// replayed record pinned, so post-promotion commits continue the
+// primary's numbering. Idempotent after the first call via ErrPromoted.
+func (f *Follower) Promote() error {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return ErrPromoted
+	}
+	f.promoted = true
+	f.mu.Unlock()
+
+	if f.cancel != nil {
+		f.cancel()
+		<-f.done
+		f.probeWG.Wait()
+	}
+	db := f.db.Load()
+	db.AlignSeq(db.Seq() + 1)
+	db.SetCommitHook(f.cfg.Store.LogCommit)
+	f.promotions.Inc()
+	f.log.Info("follower promoted to primary", "seq", db.Seq())
+	return nil
+}
+
+// tailLoop streams the primary's journal forever, reconnecting with
+// jittered exponential backoff on failure and resyncing from a snapshot
+// when truncated past our position.
+func (f *Follower) tailLoop(ctx context.Context) {
+	defer close(f.done)
+	// A brand-new follower bootstraps from the primary's newest snapshot
+	// rather than replaying history from sequence zero; failure here is
+	// non-fatal — tailing from zero works too, and a primary that has
+	// already truncated will 410 us back into resync.
+	if f.appliedSeq() == 0 {
+		if err := f.resync(ctx); err != nil && ctx.Err() == nil {
+			f.log.Warn("initial snapshot bootstrap failed; tailing from zero", "err", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for ctx.Err() == nil {
+		progressed, err := f.tailOnce(ctx)
+		f.setConnected(false)
+		if ctx.Err() != nil {
+			return
+		}
+		switch {
+		case errors.Is(err, durable.ErrJournalTruncated):
+			f.log.Warn("journal truncated past follower position; resyncing from snapshot")
+			if rerr := f.resync(ctx); rerr != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				f.log.Error("snapshot resync failed", "err", rerr)
+			} else {
+				backoff = 50 * time.Millisecond
+				continue
+			}
+		case errors.Is(err, durable.ErrTornFrame):
+			// A mid-crash primary tore the final frame; everything before
+			// it was applied, so resume from the last good sequence.
+			f.tornFrames.Inc()
+			f.log.Warn("torn tail frame; resuming from last good seq", "seq", f.appliedSeq())
+		case err != nil:
+			f.log.Debug("tail stream ended", "err", err)
+		}
+		if progressed || err == nil {
+			// Clean EOS or real progress: reconnect promptly.
+			backoff = 50 * time.Millisecond
+			continue
+		}
+		f.reconnects.Inc()
+		jitter := time.Duration(rng.Int63n(int64(backoff)/2 + 1))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff/2 + jitter):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// tailOnce runs one tail request: connect from the current applied
+// sequence, decode frames until the stream ends. Returns whether any
+// record was applied this round.
+func (f *Follower) tailOnce(ctx context.Context) (progressed bool, err error) {
+	from := f.appliedSeq()
+	// The request outlives the long-poll window by a margin; a primary
+	// that stalls mid-frame hits this deadline instead of hanging forever.
+	rctx, cancel := context.WithTimeout(ctx, f.cfg.PollWindow+10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+		f.cfg.PrimaryURL+"/journal/tail?from_seq="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return false, durable.ErrJournalTruncated
+	default:
+		return false, fmt.Errorf("replica: tail request: %s", resp.Status)
+	}
+	f.setConnected(true)
+
+	tr := durable.NewTailReader(resp.Body)
+	for ctx.Err() == nil {
+		frame, err := tr.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return progressed, nil // dropped at a frame boundary: resumable
+			}
+			return progressed, err
+		}
+		switch frame.Type {
+		case durable.FrameRecord:
+			if err := f.apply(frame.Rec); err != nil {
+				return progressed, err
+			}
+			progressed = true
+		case durable.FrameHeartbeat:
+			f.observeHead(frame.Head)
+		case durable.FrameEOS:
+			return progressed, nil
+		}
+	}
+	return progressed, ctx.Err()
+}
+
+// apply replays one record through the normal transaction path and
+// journals it locally. Apply-then-log: if replay fails we journal
+// nothing, and if the process dies between the two, restart recovery
+// re-tails the record from the primary and replays it identically.
+func (f *Follower) apply(rec core.CommitRecord) error {
+	db := f.db.Load()
+	if rec.Seq <= db.Seq() {
+		return nil // duplicate after reconnect; replay is exactly-once
+	}
+	if err := db.ApplyRecord(rec); err != nil {
+		return fmt.Errorf("replica: replay seq %d: %w", rec.Seq, err)
+	}
+	if err := f.cfg.Store.LogCommit(rec); err != nil {
+		return fmt.Errorf("replica: local journal seq %d: %w", rec.Seq, err)
+	}
+	f.applies.Inc()
+	f.mu.Lock()
+	f.applied = rec.Seq
+	if rec.Seq > f.head {
+		f.head = rec.Seq
+	}
+	f.markCaughtUpLocked()
+	f.mu.Unlock()
+	return nil
+}
+
+// observeHead records the primary's head from a heartbeat.
+func (f *Follower) observeHead(head uint64) {
+	f.mu.Lock()
+	if head > f.head {
+		f.head = head
+	}
+	f.markCaughtUpLocked()
+	f.mu.Unlock()
+}
+
+// markCaughtUpLocked refreshes the caught-up instant and lag gauges;
+// callers hold f.mu.
+func (f *Follower) markCaughtUpLocked() {
+	if f.applied >= f.head {
+		f.caughtUpAt = time.Now()
+	}
+	var lag uint64
+	if f.head > f.applied {
+		lag = f.head - f.applied
+	}
+	f.lagSeq.Set(int64(lag))
+	if f.caughtUpAt.IsZero() {
+		f.lagMillis.Set(f.cfg.StalenessBound.Milliseconds() + 1)
+	} else {
+		f.lagMillis.Set(time.Since(f.caughtUpAt).Milliseconds())
+	}
+}
+
+func (f *Follower) appliedSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.mu.Lock()
+	f.connected = v
+	f.mu.Unlock()
+}
+
+// resync replaces the follower's database with a full snapshot from the
+// primary, then re-anchors the local store (snapshot generation written,
+// journal truncated) so the next restart recovers locally from the new
+// baseline. This is the escape hatch for a follower paused past the
+// primary's checkpoint truncation.
+func (f *Follower) resync(ctx context.Context) error {
+	rctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, f.cfg.PrimaryURL+"/replica/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: snapshot request: %s", resp.Status)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return err
+	}
+	payload, err := durable.UnframeSnapshotBytes(raw)
+	if err != nil {
+		return err
+	}
+	db, err := core.LoadDatabase(bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	if err := f.cfg.Store.Checkpoint(db.SaveSnapshot); err != nil {
+		return fmt.Errorf("replica: re-anchor local store: %w", err)
+	}
+	f.db.Store(db)
+	f.mu.Lock()
+	f.applied = db.Seq()
+	if f.applied > f.head {
+		f.head = f.applied
+	}
+	f.markCaughtUpLocked()
+	f.mu.Unlock()
+	f.resyncs.Inc()
+	f.log.Info("resynced from primary snapshot", "seq", db.Seq())
+	return nil
+}
+
+// probeLoop watches the primary's /healthz and promotes this follower
+// after ProbeFailures consecutive failures. A probe succeeds on any HTTP
+// response — a draining primary answers 503 but is plainly alive, and
+// promoting next to a live primary is the split-brain case the runbook
+// warns about.
+func (f *Follower) probeLoop(ctx context.Context) {
+	defer f.probeWG.Done()
+	failures := 0
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if f.probeOnce(ctx) {
+			failures = 0
+			continue
+		}
+		failures++
+		f.log.Warn("primary health probe failed", "consecutive", failures, "threshold", f.cfg.ProbeFailures)
+		if failures < f.cfg.ProbeFailures {
+			continue
+		}
+		f.log.Warn("primary unreachable; auto-promoting")
+		// Promote cancels ctx and joins this goroutine, so run it from a
+		// fresh one and exit the loop.
+		go func() {
+			if err := f.Promote(); err != nil && !errors.Is(err, ErrPromoted) {
+				f.log.Error("auto-promotion failed", "err", err)
+			}
+		}()
+		return
+	}
+}
+
+// probeOnce reports whether the primary answered at all.
+func (f *Follower) probeOnce(ctx context.Context) bool {
+	rctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, f.cfg.PrimaryURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	return true
+}

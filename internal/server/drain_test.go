@@ -1,12 +1,15 @@
 package server
 
 import (
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"logicblox/internal/core"
+	"logicblox/internal/durable"
 )
 
 // TestGracefulDrainCompletesInflight (run under -race via make
@@ -97,5 +100,65 @@ func TestGracefulDrainCompletesInflight(t *testing.T) {
 	}
 	if got := s.reg.Snapshot().Counters["server.drained_rejects"]; got != 1 {
 		t.Fatalf("server.drained_rejects = %d", got)
+	}
+}
+
+// A graceful drain must also terminate open /journal/tail long-polls
+// with a clean end-of-stream frame — otherwise http.Server.Shutdown
+// hangs on the stream and followers see a timeout instead of a
+// reconnect cue.
+func TestDrainEndsTailStreams(t *testing.T) {
+	_, store, s, ts := newPrimaryServer(t)
+	mustOK(t, ts, http.MethodPost, "/exec", Request{Src: "+p(1)."}, nil)
+	head := store.Stats().LastSeq
+
+	// Open a tail stream caught up to head: it parks in the long-poll.
+	resp, err := ts.Client().Get(fmt.Sprintf("%s/journal/tail?from_seq=%d", ts.URL, head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tail status %d", resp.StatusCode)
+	}
+	tr := durable.NewTailReader(resp.Body)
+	if f, err := tr.Next(); err != nil || f.Type != durable.FrameHeartbeat {
+		t.Fatalf("first frame: %+v, %v (want heartbeat)", f, err)
+	}
+	waitUntil(t, 5*time.Second, "tail stream registered", func() bool { return s.TailStreams() == 1 })
+
+	s.BeginDrain()
+
+	// The parked stream ends promptly with an explicit EOS frame, well
+	// before the poll window would have elapsed.
+	type frameResult struct {
+		f   durable.TailFrame
+		err error
+	}
+	got := make(chan frameResult, 1)
+	go func() {
+		f, err := tr.Next()
+		got <- frameResult{f, err}
+	}()
+	select {
+	case r := <-got:
+		if r.err != nil || r.f.Type != durable.FrameEOS {
+			t.Fatalf("frame after drain: %+v, %v (want EOS)", r.f, r.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tail stream not terminated by drain")
+	}
+	if _, err := tr.Next(); err != io.EOF {
+		t.Fatalf("after EOS: %v, want EOF", err)
+	}
+
+	// New tail requests while draining are rejected 503.
+	resp2, err := ts.Client().Get(ts.URL + "/journal/tail?from_seq=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("tail while draining: status %d, want 503", resp2.StatusCode)
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,7 @@ import (
 	"logicblox/internal/obs"
 	"logicblox/internal/optimizer"
 	"logicblox/internal/relation"
+	"logicblox/internal/replica"
 	"logicblox/internal/tuple"
 )
 
@@ -109,6 +111,19 @@ type Config struct {
 	// TraceRing bounds the retained per-request span trees served by
 	// GET /debug/trace/{id} (default: 256).
 	TraceRing int
+	// Follower, when set, puts the server in read-replica mode: the
+	// served database is the follower's (swapped under it on snapshot
+	// resync), write endpoints answer 421 with the primary's address,
+	// /query answers 503 past the staleness bound, and /healthz carries
+	// the replication status. POST /promote clears the restriction. See
+	// docs/replication.md.
+	Follower *replica.Follower
+	// TailWindow caps one /journal/tail long-poll before the server ends
+	// the stream cleanly and the follower reconnects (default: 25s).
+	TailWindow time.Duration
+	// TailHeartbeat is how often an idle tail stream carries a heartbeat
+	// frame so followers can measure lag without traffic (default: 1s).
+	TailHeartbeat time.Duration
 }
 
 // Server serves one Database over HTTP. It is safe for concurrent use;
@@ -122,6 +137,9 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+	drainCh  chan struct{} // closed by BeginDrain; ends open tail streams
+	drainO   sync.Once
+	tails    atomic.Int64 // open /journal/tail streams
 	traces   *traceStore
 }
 
@@ -145,9 +163,16 @@ func New(db *core.Database, cfg Config) *Server {
 	if cfg.TraceRing <= 0 {
 		cfg.TraceRing = 256
 	}
+	if cfg.TailWindow <= 0 {
+		cfg.TailWindow = 25 * time.Second
+	}
+	if cfg.TailHeartbeat <= 0 {
+		cfg.TailHeartbeat = time.Second
+	}
 	s := &Server{
 		cfg: cfg, reg: cfg.Obs, sem: make(chan struct{}, cfg.Workers),
-		traces: newTraceStore(cfg.TraceRing),
+		drainCh: make(chan struct{}),
+		traces:  newTraceStore(cfg.TraceRing),
 	}
 	s.db.Store(db)
 	return s
@@ -156,13 +181,25 @@ func New(db *core.Database, cfg Config) *Server {
 // Obs returns the server's metrics registry.
 func (s *Server) Obs() *obs.Registry { return s.reg }
 
-// Database returns the currently served database.
-func (s *Server) Database() *core.Database { return s.db.Load() }
+// Database returns the currently served database. In follower mode the
+// follower owns the pointer — a snapshot resync swaps it underneath, so
+// reads always see the replicated state.
+func (s *Server) Database() *core.Database {
+	if f := s.cfg.Follower; f != nil {
+		return f.DB()
+	}
+	return s.db.Load()
+}
 
 // BeginDrain puts the server into drain mode: new requests are rejected
 // with 503 + Retry-After while in-flight transactions finish (the
-// http.Server.Shutdown call in cmd/lb-serve does the actual waiting).
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// http.Server.Shutdown call in cmd/lb-serve does the actual waiting),
+// and open /journal/tail streams are terminated with a clean
+// end-of-stream frame so followers reconnect instead of timing out.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainO.Do(func() { close(s.drainCh) })
+}
 
 // Draining reports drain mode.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -173,14 +210,17 @@ func (s *Server) Inflight() int64 { return s.inflight.Load() }
 // Handler returns the routed HTTP handler with all middleware applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/exec", s.endpoint("exec", http.MethodPost, true, s.handleExec))
-	mux.Handle("/query", s.endpoint("query", http.MethodPost, true, s.handleQuery))
-	mux.Handle("/addblock", s.endpoint("addblock", http.MethodPost, true, s.handleAddBlock))
+	mux.Handle("/exec", s.endpoint("exec", http.MethodPost, true, s.writable(s.handleExec)))
+	mux.Handle("/query", s.endpoint("query", http.MethodPost, true, s.freshRead(s.handleQuery)))
+	mux.Handle("/addblock", s.endpoint("addblock", http.MethodPost, true, s.writable(s.handleAddBlock)))
 	mux.Handle("/check", s.endpoint("check", http.MethodPost, true, s.handleCheck))
 	mux.Handle("/branches", s.branchesRouter())
 	mux.Handle("/versions", s.endpoint("versions", http.MethodGet, false, s.handleVersions))
 	mux.Handle("/save", s.endpoint("save", http.MethodPost, true, s.handleSave))
-	mux.Handle("/load", s.endpoint("load", http.MethodPost, true, s.handleLoad))
+	mux.Handle("/load", s.endpoint("load", http.MethodPost, true, s.writable(s.handleLoad)))
+	mux.HandleFunc("/journal/tail", s.handleJournalTail)
+	mux.Handle("/replica/snapshot", s.endpoint("snapshot", http.MethodGet, false, s.handleReplicaSnapshot))
+	mux.Handle("/promote", s.endpoint("promote", http.MethodPost, false, s.handlePromote))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
@@ -430,6 +470,11 @@ func (s *Server) handleBranchesPost(w http.ResponseWriter, r *http.Request) {
 		writeErrorCode(w, http.StatusBadRequest, "bad_request", err.Error(), requestIDFrom(r.Context()))
 		return
 	}
+	// Branch mutations are writes; only diff is a read a follower can
+	// serve locally.
+	if req.Op != "diff" && s.rejectReadOnly(w, r) {
+		return
+	}
 	db := s.Database()
 	switch req.Op {
 	case "create":
@@ -643,6 +688,13 @@ func (s *Server) refreshGauges() {
 		s.reg.Gauge("durable.pending_commits").Set(int64(d.PendingCommits))
 		s.reg.Gauge("durable.generations").Set(int64(d.Generations))
 		s.reg.Gauge("durable.last_seq").Set(int64(d.LastSeq))
+		s.reg.Gauge("durable.retained_floor").Set(int64(d.RetainedFloor))
+	}
+	s.reg.Gauge("server.tail_streams").Set(s.tails.Load())
+	if f := s.cfg.Follower; f != nil {
+		rs := f.Status()
+		s.reg.Gauge("replica.lag_seq").Set(int64(rs.LagSeq))
+		s.reg.Gauge("replica.lag_ms").Set(int64(rs.LagSeconds * 1000))
 	}
 }
 
@@ -665,7 +717,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if st := s.cfg.Durable; st != nil {
 		body["durable"] = st.Stats()
 	}
-	writeJSON(w, http.StatusOK, body)
+	status := http.StatusOK
+	if f := s.cfg.Follower; f != nil {
+		rs := f.Status()
+		body["replica"] = rs
+		switch {
+		case rs.Promoted:
+			body["mode"] = "primary" // promoted standby
+		default:
+			body["mode"] = "follower"
+			if rs.Stale {
+				// The follower is running but its data is past the
+				// staleness bound: flip the health check so load
+				// balancers stop routing reads here.
+				body["status"] = "stale"
+				status = http.StatusServiceUnavailable
+			}
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // latencySummary reports p50/p95/p99 (milliseconds) and counts per

@@ -187,17 +187,31 @@ type VersionsResponse struct {
 	Versions []VersionInfo `json:"versions"`
 }
 
+// PromoteResponse is the body of POST /promote: the follower is now a
+// primary, continuing the replicated sequence numbering from Seq.
+type PromoteResponse struct {
+	OK       bool   `json:"ok"`
+	Promoted bool   `json:"promoted"`
+	Seq      uint64 `json:"seq"`
+	// AlreadyPromoted reports an idempotent re-promotion.
+	AlreadyPromoted bool `json:"already_promoted,omitempty"`
+}
+
 // ErrorResponse is every non-2xx JSON body.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable identifier: no_such_branch, conflict, parse,
 	// typecheck, constraint, timeout, busy, unavailable, bad_request,
-	// bad_cursor, stale_cursor, no_such_trace, internal.
+	// bad_cursor, stale_cursor, no_such_trace, read_only, stale_read,
+	// journal_truncated, not_follower, not_durable, internal.
 	Code string `json:"code"`
 	// RequestID correlates the failure with its access-log line and the
 	// retained trace at GET /debug/trace/{id}. Every error envelope
 	// carries one (client-supplied X-Request-ID or server-generated).
 	RequestID string `json:"request_id,omitempty"`
+	// Primary is the primary's base URL on read_only errors (421): the
+	// address a follower redirects writes to.
+	Primary string `json:"primary,omitempty"`
 }
 
 // TraceResponse is the body of GET /debug/trace/{id}: the retained span
