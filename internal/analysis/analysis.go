@@ -20,13 +20,15 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a message describing the violated invariant.
+// a severity, and a message describing the violated invariant.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Severity string // "error" for the Go analyzers
 	Message  string
 }
 
@@ -35,12 +37,19 @@ func (d Diagnostic) String() string {
 }
 
 // Pass carries everything an analyzer needs to examine one package.
+// Shared is per-analyzer scratch that survives across packages within
+// one RunAnalyzers call — the channel through which cross-package
+// analyzers (locksafe's lock-order graph, snapshotescape's escape
+// summaries) accumulate state. Packages arrive in dependency order, so
+// by the time a package is analyzed every summary of its dependencies
+// is already in Shared.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Shared   map[string]any
 
 	diags *[]Diagnostic
 }
@@ -50,27 +59,59 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: "error",
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// Analyzer is one named check run over a type-checked package.
+// Analyzer is one named check run over a type-checked package. Finish,
+// when set, runs once after Run has seen every package of the load; the
+// Pass it receives has the shared FileSet and the analyzer's Shared
+// scratch but no Files/Pkg/Info — it is where whole-program findings
+// (lock-order cycles) are reported.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name   string
+	Doc    string
+	Run    func(*Pass) error
+	Finish func(*Pass) error
 }
 
 // Analyzers returns the full suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ImmutableAnalyzer, ErrwrapAnalyzer, CtxloopAnalyzer, ObssafeAnalyzer, CursorcloseAnalyzer}
+	return []*Analyzer{
+		ImmutableAnalyzer, ErrwrapAnalyzer, CtxloopAnalyzer, ObssafeAnalyzer, CursorcloseAnalyzer,
+		LocksafeAnalyzer, LeakcheckAnalyzer, SnapshotEscapeAnalyzer,
+	}
+}
+
+// Timing records how long one analyzer spent on one package.
+type Timing struct {
+	PkgPath  string
+	Analyzer string
+	Elapsed  time.Duration
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
 // combined diagnostics sorted by file position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers reporting per-package wall-clock
+// spent in each analyzer, so new analyzers can be budgeted (`lb-lint
+// -list -v`). Finish hooks run after all packages, under the analyzer's
+// name with an empty package path.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	var diags []Diagnostic
+	var timings []Timing
+	shared := map[*Analyzer]map[string]any{}
+	for _, a := range analyzers {
+		shared[a] = map[string]any{}
+	}
+	var fset *token.FileSet
 	for _, pkg := range pkgs {
+		fset = pkg.Fset
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -78,11 +119,27 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Shared:   shared[a],
 				diags:    &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			t0 := time.Now()
+			err := a.Run(pass)
+			timings = append(timings, Timing{PkgPath: pkg.PkgPath, Analyzer: a.Name, Elapsed: time.Since(t0)})
+			if err != nil {
+				return diags, timings, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil || fset == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Fset: fset, Shared: shared[a], diags: &diags}
+		t0 := time.Now()
+		err := a.Finish(pass)
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(t0)})
+		if err != nil {
+			return diags, timings, fmt.Errorf("%s finish: %w", a.Name, err)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -98,7 +155,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, timings, nil
 }
 
 // calleeName returns the bare name of a call's callee: the identifier for

@@ -115,6 +115,18 @@ func TestCursorcloseAnalyzer(t *testing.T) {
 	checkFixture(t, CursorcloseAnalyzer, "cursor")
 }
 
+func TestLocksafeAnalyzer(t *testing.T) {
+	checkFixture(t, LocksafeAnalyzer, "locks", "lockorder")
+}
+
+func TestLeakcheckAnalyzer(t *testing.T) {
+	checkFixture(t, LeakcheckAnalyzer, "leakres", "leaksrv")
+}
+
+func TestSnapshotEscapeAnalyzer(t *testing.T) {
+	checkFixture(t, SnapshotEscapeAnalyzer, "pescape", "pescapeuser")
+}
+
 // TestLoadRealPackage loads a real repository package with its stdlib
 // imports resolved through export data.
 func TestLoadRealPackage(t *testing.T) {
@@ -130,14 +142,12 @@ func TestLoadRealPackage(t *testing.T) {
 	}
 }
 
-// TestSuiteSelfClean runs the full suite over the packages it guards:
-// the invariants must hold in the real tree (make lint enforces this
-// repo-wide; this test pins the core packages even under plain go test).
+// TestSuiteSelfClean runs the full suite — the CFG dataflow analyzers
+// included — over every package in the module: the invariants must hold
+// in the real tree with zero findings and no suppressions (make lint
+// enforces the same repo-wide; this test pins it under plain go test).
 func TestSuiteSelfClean(t *testing.T) {
-	pkgs, err := Load("../..",
-		"./internal/treap", "./internal/pmap", "./internal/relation",
-		"./internal/obs", "./internal/engine", "./internal/core", "./internal/server",
-		"./internal/replica")
+	pkgs, err := Load("../..", "./...")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}

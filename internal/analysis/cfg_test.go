@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFGs parses src (a complete file) and builds one CFG per declared
+// function, without type info — the builder must degrade gracefully.
+func buildCFGs(t *testing.T, src string) map[string]*CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := map[string]*CFG{}
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			out[fn.Name.Name] = BuildCFG(fn.Body, nil)
+		}
+	}
+	return out
+}
+
+// reachableExits returns the reachable blocks where control leaves the
+// function: returns, panics, and fall-off-the-end blocks.
+func reachableExits(c *CFG) (returns, panics, falls int) {
+	for b := range c.Reachable() {
+		switch {
+		case b.Return != nil:
+			returns++
+		case b.Panic != nil:
+			panics++
+		case len(b.Succs) == 0:
+			falls++
+		}
+	}
+	return
+}
+
+// TestCFGLabeledBreak pins the labeled-break wiring: the only way out of
+// the infinite outer loop is `break outer`, so the final return must be
+// reachable — and only once.
+func TestCFGLabeledBreak(t *testing.T) {
+	cfgs := buildCFGs(t, `package p
+func g() int {
+	n := 0
+outer:
+	for {
+		for {
+			if n > 10 {
+				break outer
+			}
+			n++
+		}
+	}
+	return n
+}
+`)
+	returns, panics, falls := reachableExits(cfgs["g"])
+	if returns != 1 || panics != 0 || falls != 0 {
+		t.Fatalf("labeled break: got %d returns, %d panics, %d fall-offs; want exactly 1 return\n%s",
+			returns, panics, falls, cfgs["g"])
+	}
+}
+
+// TestCFGGoto pins forward gotos: both returns stay reachable, and the
+// goto edge skips the intervening return.
+func TestCFGGoto(t *testing.T) {
+	cfgs := buildCFGs(t, `package p
+func h(b bool) int {
+	if b {
+		goto done
+	}
+	return 1
+done:
+	return 2
+}
+`)
+	returns, _, falls := reachableExits(cfgs["h"])
+	if returns != 2 || falls != 0 {
+		t.Fatalf("goto: got %d returns, %d fall-offs; want 2 returns, 0 fall-offs\n%s", returns, falls, cfgs["h"])
+	}
+}
+
+// TestCFGSelect pins select wiring: each comm clause is a branch, a
+// caseless clause flows back into the loop, and an empty select blocks
+// forever (no reachable exit at all).
+func TestCFGSelect(t *testing.T) {
+	cfgs := buildCFGs(t, `package p
+func s(a, b chan int, done chan struct{}) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case <-b:
+		case <-done:
+			return 0
+		}
+	}
+}
+func z() {
+	select {}
+}
+`)
+	returns, _, falls := reachableExits(cfgs["s"])
+	if returns != 2 || falls != 0 {
+		t.Fatalf("select: got %d returns, %d fall-offs; want 2 returns, 0 fall-offs\n%s", returns, falls, cfgs["s"])
+	}
+	if r, p, f := reachableExits(cfgs["z"]); r != 0 || p != 0 || f != 1 {
+		// The empty select itself is the one blocking "fall" block.
+		t.Fatalf("empty select: got %d returns, %d panics, %d fall-offs; want only the blocked head\n%s", r, p, f, cfgs["z"])
+	}
+}
+
+// TestCFGPanicAndFallthrough pins explicit panic exits and switch
+// fallthrough: panic terminates its block, fallthrough chains case
+// bodies, and the single return stays the only normal exit.
+func TestCFGPanicAndFallthrough(t *testing.T) {
+	cfgs := buildCFGs(t, `package p
+func sw(x int) string {
+	out := ""
+	switch x {
+	case 1:
+		out = "a"
+		fallthrough
+	case 2:
+		out += "b"
+	case 3:
+		panic("three")
+	default:
+		out = "c"
+	}
+	return out
+}
+`)
+	returns, panics, falls := reachableExits(cfgs["sw"])
+	if returns != 1 || panics != 1 || falls != 0 {
+		t.Fatalf("switch: got %d returns, %d panics, %d fall-offs; want 1 return, 1 panic\n%s",
+			returns, panics, falls, cfgs["sw"])
+	}
+}
+
+// TestCFGReversePostorder pins the iteration order contract: entry
+// first, every reachable block exactly once.
+func TestCFGReversePostorder(t *testing.T) {
+	cfgs := buildCFGs(t, `package p
+func f(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		if v > 0 {
+			total += v
+		} else {
+			total -= v
+		}
+	}
+	return total
+}
+`)
+	c := cfgs["f"]
+	rpo := c.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != c.Blocks[0] {
+		t.Fatalf("rpo must start at the entry block")
+	}
+	seen := map[*Block]bool{}
+	for _, b := range rpo {
+		if seen[b] {
+			t.Fatalf("block b%d appears twice in rpo", b.Index)
+		}
+		seen[b] = true
+	}
+	reach := c.Reachable()
+	if len(seen) != len(reach) {
+		t.Fatalf("rpo has %d blocks, reachable set has %d", len(seen), len(reach))
+	}
+}

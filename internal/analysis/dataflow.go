@@ -1,0 +1,160 @@
+package analysis
+
+// dataflow.go is the forward dataflow driver the CFG analyzers share: a
+// worklist fixpoint over reverse postorder with per-edge refinement, plus
+// the enumeration of analysis units (function declarations and function
+// literals, each analyzed as its own CFG).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flowFns packages one analysis' lattice operations. States must form a
+// finite-height lattice under joinInto for the fixpoint to terminate;
+// transfer and edge must be monotone.
+type flowFns[S any] struct {
+	// clone deep-copies a state so transfer can mutate freely.
+	clone func(S) S
+	// joinInto merges src into dst, reporting whether dst changed.
+	joinInto func(dst, src S) bool
+	// transfer pushes a block-entry state through the block's nodes.
+	transfer func(b *Block, in S) S
+	// edge, when non-nil, refines the block-exit state along one edge
+	// (e.g. killing facts on the `err != nil` branch). It may mutate and
+	// return its argument.
+	edge func(e Edge, out S) S
+}
+
+// forwardFlow runs the forward may-analysis to fixpoint and returns the
+// state at entry to each reachable block. newBottom supplies the lattice
+// bottom used to seed the entry block.
+func forwardFlow[S any](cfg *CFG, entry S, fns flowFns[S]) map[*Block]S {
+	rpo := cfg.ReversePostorder()
+	in := map[*Block]S{}
+	if len(rpo) == 0 {
+		return in
+	}
+	in[rpo[0]] = entry
+	// Round-robin over RPO until stable. The lattices in this package are
+	// small (locks and resources per function), so convergence is fast;
+	// the iteration cap is a belt-and-braces guard against a non-monotone
+	// transfer bug, not a tuning knob.
+	for iter := 0; iter < 1000; iter++ {
+		changed := false
+		for _, b := range rpo {
+			st, ok := in[b]
+			if !ok {
+				continue
+			}
+			out := fns.transfer(b, fns.clone(st))
+			for _, e := range b.Succs {
+				es := fns.clone(out)
+				if fns.edge != nil {
+					es = fns.edge(e, es)
+				}
+				cur, ok := in[e.To]
+				if !ok {
+					in[e.To] = es
+					changed = true
+					continue
+				}
+				if fns.joinInto(cur, es) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// funcUnit is one unit of CFG analysis: a function declaration or a
+// function literal. Literals appearing directly as `defer func(){...}()`
+// are not units of their own — their effects (releases, in particular)
+// belong to the enclosing function's defer semantics.
+type funcUnit struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+	// encl is the declaration this unit belongs to (itself for decls).
+	encl *ast.FuncDecl
+	// goStmt is set when the unit is the immediate callee of a go
+	// statement — the body of a spawned goroutine.
+	goStmt *ast.GoStmt
+}
+
+func (u funcUnit) name() string {
+	if u.decl != nil {
+		return u.decl.Name.Name
+	}
+	return "func literal"
+}
+
+func (u funcUnit) pos() token.Pos {
+	if u.decl != nil {
+		return u.decl.Pos()
+	}
+	return u.lit.Pos()
+}
+
+// funcUnits enumerates the analysis units of one file: every declared
+// function plus every function literal that is not the immediate call of
+// a defer statement. Literal enumeration recurses, so a literal inside a
+// literal is its own unit too.
+func funcUnits(file *ast.File) []funcUnit {
+	var units []funcUnit
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		units = append(units, funcUnit{decl: fn, body: fn.Body, encl: fn})
+		units = append(units, literalUnits(fn.Body, fn)...)
+	}
+	return units
+}
+
+// literalUnits collects the function-literal units under root, skipping
+// deferred immediate calls (their bodies fold into the enclosing defer).
+func literalUnits(root ast.Node, encl *ast.FuncDecl) []funcUnit {
+	var units []funcUnit
+	deferred := map[*ast.FuncLit]bool{}
+	goLit := map[*ast.FuncLit]*ast.GoStmt{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				deferred[lit] = true
+			}
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				goLit[lit] = s
+			}
+		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || deferred[lit] {
+			return true
+		}
+		units = append(units, funcUnit{lit: lit, body: lit.Body, encl: encl, goStmt: goLit[lit]})
+		return true
+	})
+	return units
+}
+
+// inspectShallow walks n without descending into function literals:
+// the evaluation steps of a block execute the literal's *creation*, not
+// its body.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,825 @@
+package analysis
+
+// locksafe enforces the commit path's lock discipline (paper §3.3–3.4)
+// with a forward dataflow over the CFG:
+//
+//  1. Release-on-all-paths: every sync.Mutex/RWMutex acquisition must be
+//     released on every path to every function exit (return, explicit
+//     panic, or fall-off-end), either directly or by a pending defer.
+//  2. Double-lock: re-acquiring a lock that may already be held by the
+//     same function (same receiver path) is a self-deadlock.
+//  3. Lock order: acquisitions are summarized per function (transitively
+//     through static calls, and through values of named function types
+//     such as core.CommitHook and durable.SaveFunc for the indirect
+//     commit-hook path) into a repo-wide type-level lock-order graph;
+//     a cycle in that graph is a potential deadlock between concurrent
+//     transactions and is reported once per cycle at Finish.
+//
+// Known limits (see docs/analysis.md): calls that may panic are not
+// modeled as exits (defers still count as releases, so defer-based
+// release is panic-safe and the analyzer never demands more than that);
+// distinct instances of the same type share one node in the order graph,
+// so type-level self-edges are deliberately not reported (the
+// intraprocedural double-lock check covers the same-instance case).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LocksafeAnalyzer is the CFG-based lock-discipline check.
+var LocksafeAnalyzer = &Analyzer{
+	Name:   "locksafe",
+	Doc:    "flag locks not released on all paths, double-locks, and lock-order cycles",
+	Run:    runLocksafe,
+	Finish: finishLocksafe,
+}
+
+// lockObj identifies one lock at a call site.
+type lockObj struct {
+	local   string // intraprocedural identity: root object + selector path
+	display string // source spelling, e.g. "s.mu"
+	global  string // type-level identity "pkg/path.Type.field" ("" if function-local)
+}
+
+// lsEdge is one lock-order edge: from is held when to is acquired.
+type lsEdge struct{ from, to string }
+
+// lsPending is an indirect call through a named function type made while
+// holding locks; resolved against address-taken functions at Finish.
+type lsPending struct {
+	helds []string
+	sig   string
+	pos   token.Pos
+}
+
+// Shared-state accessors. Everything locksafe accumulates across
+// packages lives in Pass.Shared under these keys.
+func lsSummaries(p *Pass) map[string]map[string]token.Pos {
+	m, ok := p.Shared["summaries"].(map[string]map[string]token.Pos)
+	if !ok {
+		m = map[string]map[string]token.Pos{}
+		p.Shared["summaries"] = m
+	}
+	return m
+}
+
+func lsEdges(p *Pass) map[lsEdge]token.Pos {
+	m, ok := p.Shared["edges"].(map[lsEdge]token.Pos)
+	if !ok {
+		m = map[lsEdge]token.Pos{}
+		p.Shared["edges"] = m
+	}
+	return m
+}
+
+func lsAddrTaken(p *Pass) map[string]map[string]bool {
+	m, ok := p.Shared["addrTaken"].(map[string]map[string]bool)
+	if !ok {
+		m = map[string]map[string]bool{}
+		p.Shared["addrTaken"] = m
+	}
+	return m
+}
+
+func lsPendings(p *Pass) *[]lsPending {
+	s, ok := p.Shared["pending"].(*[]lsPending)
+	if !ok {
+		s = &[]lsPending{}
+		p.Shared["pending"] = s
+	}
+	return s
+}
+
+// mutexOp classifies call as a sync.Mutex/RWMutex operation and resolves
+// the lock it targets. op is "Lock", "Unlock", "RLock" or "RUnlock".
+func mutexOp(pass *Pass, call *ast.CallExpr) (op string, lock lockObj, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockObj{}, false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockObj{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", lockObj{}, false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", lockObj{}, false
+	}
+	recvNamed := namedOf(sig.Recv().Type())
+	if recvNamed == nil {
+		return "", lockObj{}, false
+	}
+	if n := recvNamed.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", lockObj{}, false
+	}
+	lock, ok = resolveLock(pass, sel.X)
+	if !ok {
+		return "", lockObj{}, false
+	}
+	return fn.Name(), lock, true
+}
+
+// resolveLock derives the identity of the lock denoted by recv — the
+// expression a Lock/Unlock method is called on. Selector chains rooted
+// at an identifier resolve fully; anything else (an index expression, a
+// call result) is untrackable and skipped.
+func resolveLock(pass *Pass, recv ast.Expr) (lockObj, bool) {
+	expr := ast.Unparen(recv)
+	var parts []string
+	for {
+		if sel, ok := expr.(*ast.SelectorExpr); ok {
+			parts = append([]string{sel.Sel.Name}, parts...)
+			expr = ast.Unparen(sel.X)
+			continue
+		}
+		break
+	}
+	root, ok := expr.(*ast.Ident)
+	if !ok {
+		return lockObj{}, false
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return lockObj{}, false
+	}
+	display := root.Name
+	if len(parts) > 0 {
+		display += "." + strings.Join(parts, ".")
+	}
+	lo := lockObj{
+		local:   fmt.Sprintf("%p.%s", obj, strings.Join(parts, ".")),
+		display: display,
+	}
+	// Type-level identity: the named struct owning the final mutex field.
+	if t := pass.Info.Types[recv]; t.Type != nil {
+		if named := namedOf(t.Type); named != nil && named.Obj().Pkg() != nil &&
+			(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex") && named.Obj().Pkg().Path() == "sync" {
+			// recv is the mutex itself; find its owner.
+			switch {
+			case len(parts) > 0:
+				// owner = type of the expression before the final field.
+				ownerExpr := recv
+				if sel, ok := ast.Unparen(recv).(*ast.SelectorExpr); ok {
+					ownerExpr = sel.X
+					if ownerNamed := namedOfExprType(pass, ownerExpr); ownerNamed != nil {
+						lo.global = typeKey(ownerNamed) + "." + sel.Sel.Name
+					}
+				}
+				_ = ownerExpr
+			case obj.Parent() == pass.Pkg.Scope():
+				// A package-level mutex variable.
+				lo.global = pass.Pkg.Path() + "." + root.Name
+			}
+		} else if named != nil {
+			// recv is a struct embedding the mutex; name the embedded field.
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					if fn := namedOf(st.Field(i).Type()); fn != nil && fn.Obj().Pkg() != nil &&
+						fn.Obj().Pkg().Path() == "sync" && (fn.Obj().Name() == "Mutex" || fn.Obj().Name() == "RWMutex") {
+						lo.global = typeKey(named) + "." + st.Field(i).Name()
+						break
+					}
+				}
+			}
+		}
+	}
+	return lo, true
+}
+
+func namedOfExprType(pass *Pass, e ast.Expr) *types.Named {
+	if t := pass.Info.Types[e]; t.Type != nil {
+		return namedOf(t.Type)
+	}
+	return nil
+}
+
+// typeKey is the repo-wide identity of a named type.
+func typeKey(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// shortToken trims the module path off a type-level lock token for
+// human-readable messages: "logicblox/internal/core.Database.mu" →
+// "core.Database.mu".
+func shortToken(tok string) string {
+	if i := strings.LastIndex(tok, "/"); i >= 0 {
+		return tok[i+1:]
+	}
+	return tok
+}
+
+// funcKey canonically names a function across packages; generic
+// instantiations share their origin's key.
+func funcKey(fn *types.Func) string { return fn.Origin().FullName() }
+
+// staticCallee resolves a call to the *types.Func it statically invokes,
+// or nil for indirect calls, builtins and conversions.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// namedFuncSig returns the printed signature of call's callee when the
+// callee expression has a *named* function type (an indirect call
+// through core.CommitHook, durable.SaveFunc, ...), else "".
+func namedFuncSig(pass *Pass, call *ast.CallExpr) string {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := types.Unalias(tv.Type)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	sig, ok := named.Underlying().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	return sigKey(sig)
+}
+
+// sigKey canonicalizes a signature to its parameter and result types —
+// names stripped, so `func(x int)` unifies with `type Hook func(int)`.
+func sigKey(sig *types.Signature) string {
+	var sb strings.Builder
+	sb.WriteString("func(")
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(types.TypeString(sig.Params().At(i).Type(), nil))
+	}
+	if sig.Variadic() {
+		sb.WriteString("...")
+	}
+	sb.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(types.TypeString(sig.Results().At(i).Type(), nil))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// ---- lock state lattice ----
+
+// lsState is the may-held lock state at a program point: for each lock
+// (intraprocedural identity), the modes held with their first acquire
+// position, and the modes covered by a pending deferred release.
+type lsState struct {
+	held     map[string]map[string]token.Pos
+	deferred map[string]map[string]bool
+}
+
+func newLsState() *lsState {
+	return &lsState{held: map[string]map[string]token.Pos{}, deferred: map[string]map[string]bool{}}
+}
+
+func (s *lsState) clone() *lsState {
+	c := newLsState()
+	for k, modes := range s.held {
+		m := map[string]token.Pos{}
+		for mode, pos := range modes {
+			m[mode] = pos
+		}
+		c.held[k] = m
+	}
+	for k, modes := range s.deferred {
+		m := map[string]bool{}
+		for mode := range modes {
+			m[mode] = true
+		}
+		c.deferred[k] = m
+	}
+	return c
+}
+
+func (s *lsState) joinInto(src *lsState) bool {
+	changed := false
+	for k, modes := range src.held {
+		dst := s.held[k]
+		if dst == nil {
+			dst = map[string]token.Pos{}
+			s.held[k] = dst
+		}
+		for mode, pos := range modes {
+			if old, ok := dst[mode]; !ok || pos < old {
+				if !ok || pos < old {
+					dst[mode] = pos
+					changed = true
+				}
+			}
+		}
+	}
+	for k, modes := range src.deferred {
+		dst := s.deferred[k]
+		if dst == nil {
+			dst = map[string]bool{}
+			s.deferred[k] = dst
+		}
+		for mode := range modes {
+			if !dst[mode] {
+				dst[mode] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// lsUnit carries the per-unit context of one locksafe dataflow.
+type lsUnit struct {
+	pass      *Pass
+	locks     map[string]lockObj // local key -> identity
+	reporting bool
+	reported  map[string]bool
+	summaries map[string]map[string]token.Pos
+	edges     map[lsEdge]token.Pos
+	pending   *[]lsPending
+}
+
+func (u *lsUnit) reportOnce(key string, pos token.Pos, format string, args ...any) {
+	if u.reported[key] {
+		return
+	}
+	u.reported[key] = true
+	u.pass.Reportf(pos, format, args...)
+}
+
+// transfer pushes state through one block's nodes.
+func (u *lsUnit) transfer(b *Block, st *lsState) *lsState {
+	for _, node := range b.Nodes {
+		u.transferNode(node, st)
+	}
+	return st
+}
+
+func (u *lsUnit) transferNode(node ast.Node, st *lsState) {
+	if d, ok := node.(*ast.DeferStmt); ok {
+		u.transferDefer(d, st)
+		return
+	}
+	inspectShallow(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		u.transferCall(call, st)
+		return true
+	})
+}
+
+// transferDefer registers the releases a defer guarantees: a direct
+// deferred Unlock, or any Unlock inside a deferred function literal.
+func (u *lsUnit) transferDefer(d *ast.DeferStmt, st *lsState) {
+	record := func(call *ast.CallExpr) {
+		op, lock, ok := mutexOp(u.pass, call)
+		if !ok {
+			return
+		}
+		var mode string
+		switch op {
+		case "Unlock":
+			mode = "w"
+		case "RUnlock":
+			mode = "r"
+		default:
+			return
+		}
+		u.locks[lock.local] = lock
+		if st.deferred[lock.local] == nil {
+			st.deferred[lock.local] = map[string]bool{}
+		}
+		st.deferred[lock.local][mode] = true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				record(call)
+			}
+			return true
+		})
+		return
+	}
+	record(d.Call)
+}
+
+func (u *lsUnit) transferCall(call *ast.CallExpr, st *lsState) {
+	if op, lock, ok := mutexOp(u.pass, call); ok {
+		u.locks[lock.local] = lock
+		switch op {
+		case "Lock", "RLock":
+			mode := "w"
+			if op == "RLock" {
+				mode = "r"
+			}
+			if u.reporting {
+				if modes := st.held[lock.local]; len(modes) > 0 {
+					// Write acquisition over anything, or read over a held
+					// write, self-deadlocks. Read-over-read is legal (shared)
+					// and stays quiet.
+					if mode == "w" || modes["w"] != 0 {
+						u.reportOnce("dbl:"+lock.local+op+posKey(u.pass, call.Pos()), call.Pos(),
+							"%s of %s while it may already be held (acquired at %s): a goroutine deadlocks re-acquiring its own lock",
+							op, lock.display, u.pass.Fset.Position(firstPos(modes)))
+					}
+				}
+				// Order edge: acquiring while holding other locks.
+				u.recordDirectEdges(st, lock, call.Pos())
+			}
+			if st.held[lock.local] == nil {
+				st.held[lock.local] = map[string]token.Pos{}
+			}
+			if _, dup := st.held[lock.local][mode]; !dup {
+				st.held[lock.local][mode] = call.Pos()
+			}
+		case "Unlock", "RUnlock":
+			mode := "w"
+			if op == "RUnlock" {
+				mode = "r"
+			}
+			if modes := st.held[lock.local]; modes != nil {
+				delete(modes, mode)
+				if len(modes) == 0 {
+					delete(st.held, lock.local)
+				}
+			} else if u.reporting {
+				u.reportOnce("unheld:"+lock.local+op+posKey(u.pass, call.Pos()), call.Pos(),
+					"%s of %s which is not held on any path through this point", op, lock.display)
+			}
+		}
+		return
+	}
+	if !u.reporting {
+		return
+	}
+	// Calls made while holding locks feed the repo-wide order graph.
+	if fn := staticCallee(u.pass, call); fn != nil {
+		if sum := u.summaries[funcKey(fn)]; len(sum) > 0 {
+			for localKey := range st.held {
+				from := u.locks[localKey].global
+				if from == "" {
+					continue
+				}
+				for to := range sum {
+					if to == from {
+						continue
+					}
+					if _, ok := u.edges[lsEdge{from, to}]; !ok {
+						u.edges[lsEdge{from, to}] = call.Pos()
+					}
+				}
+			}
+		}
+		return
+	}
+	if sig := namedFuncSig(u.pass, call); sig != "" && len(st.held) > 0 {
+		var helds []string
+		for localKey := range st.held {
+			if g := u.locks[localKey].global; g != "" {
+				helds = append(helds, g)
+			}
+		}
+		if len(helds) > 0 {
+			sort.Strings(helds)
+			*u.pending = append(*u.pending, lsPending{helds: helds, sig: sig, pos: call.Pos()})
+		}
+	}
+}
+
+func (u *lsUnit) recordDirectEdges(st *lsState, acquired lockObj, pos token.Pos) {
+	if acquired.global == "" {
+		return
+	}
+	for localKey := range st.held {
+		from := u.locks[localKey].global
+		if from == "" || from == acquired.global {
+			continue
+		}
+		if _, ok := u.edges[lsEdge{from, acquired.global}]; !ok {
+			u.edges[lsEdge{from, acquired.global}] = pos
+		}
+	}
+}
+
+func firstPos(modes map[string]token.Pos) token.Pos {
+	best := token.NoPos
+	for _, p := range modes {
+		if best == token.NoPos || p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+func posKey(pass *Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// ---- analyzer body ----
+
+func runLocksafe(pass *Pass) error {
+	summaries := lsSummaries(pass)
+	collectLockSummaries(pass, summaries)
+	collectAddrTaken(pass, lsAddrTaken(pass))
+
+	edges := lsEdges(pass)
+	pending := lsPendings(pass)
+	for _, file := range pass.Files {
+		for _, unit := range funcUnits(file) {
+			u := &lsUnit{
+				pass:      pass,
+				locks:     map[string]lockObj{},
+				reported:  map[string]bool{},
+				summaries: summaries,
+				edges:     edges,
+				pending:   pending,
+			}
+			cfg := BuildCFG(unit.body, pass.Info)
+			in := forwardFlow(cfg, newLsState(), flowFns[*lsState]{
+				clone:    (*lsState).clone,
+				joinInto: func(dst, src *lsState) bool { return dst.joinInto(src) },
+				transfer: u.transfer,
+			})
+			// Reporting pass: re-walk each reachable block once with the
+			// final entry states, then audit exits.
+			u.reporting = true
+			for _, b := range cfg.ReversePostorder() {
+				st, ok := in[b]
+				if !ok {
+					continue
+				}
+				out := u.transfer(b, st.clone())
+				if b.Return == nil && b.Panic == nil && len(b.Succs) > 0 {
+					continue
+				}
+				for localKey, modes := range out.held {
+					lock := u.locks[localKey]
+					for mode, acq := range modes {
+						if out.deferred[localKey][mode] {
+							continue
+						}
+						verb := "Unlock"
+						if mode == "r" {
+							verb = "RUnlock"
+						}
+						exitKind := "return"
+						if b.Panic != nil {
+							exitKind = "panic"
+						}
+						u.reportOnce("leak:"+localKey+mode+posKey(pass, acq), acq,
+							"%s acquired here may still be held at a %s: release it on every path (or defer %s.%s())",
+							lock.display, exitKind, lock.display, verb)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectLockSummaries computes, for every function declared in this
+// package, the set of type-level locks it may acquire — directly or
+// through static calls (callee summaries of other packages are already
+// in Shared because packages load in dependency order; same-package
+// recursion iterates to fixpoint).
+func collectLockSummaries(pass *Pass, summaries map[string]map[string]token.Pos) {
+	type local struct {
+		key     string
+		direct  map[string]token.Pos
+		callees map[string]bool
+	}
+	var locals []*local
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			l := &local{key: funcKey(obj), direct: map[string]token.Pos{}, callees: map[string]bool{}}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, lock, ok := mutexOp(pass, call); ok {
+					if (op == "Lock" || op == "RLock") && lock.global != "" {
+						if _, dup := l.direct[lock.global]; !dup {
+							l.direct[lock.global] = call.Pos()
+						}
+					}
+					return true
+				}
+				if callee := staticCallee(pass, call); callee != nil {
+					l.callees[funcKey(callee)] = true
+				}
+				return true
+			})
+			locals = append(locals, l)
+		}
+	}
+	for _, l := range locals {
+		sum := map[string]token.Pos{}
+		for tok, pos := range l.direct {
+			sum[tok] = pos
+		}
+		summaries[l.key] = sum
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, l := range locals {
+			sum := summaries[l.key]
+			for callee := range l.callees {
+				for tok, pos := range summaries[callee] {
+					if _, ok := sum[tok]; !ok {
+						sum[tok] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectAddrTaken records every function whose value is taken (passed,
+// stored, assigned — any use outside call position), keyed by its
+// printed value signature. Indirect calls through named function types
+// resolve against this set at Finish.
+func collectAddrTaken(pass *Pass, addr map[string]map[string]bool) {
+	inCallPos := map[ast.Expr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				inCallPos[ast.Unparen(call.Fun)] = true
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok || inCallPos[expr] {
+				return true
+			}
+			var fn *types.Func
+			switch e := expr.(type) {
+			case *ast.Ident:
+				fn, _ = pass.Info.Uses[e].(*types.Func)
+			case *ast.SelectorExpr:
+				// Only the whole selector is a method value; its Sel is
+				// matched here, the X side recurses on its own.
+				fn, _ = pass.Info.Uses[e.Sel].(*types.Func)
+				if inCallPos[expr] {
+					fn = nil
+				}
+			default:
+				return true
+			}
+			if fn == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[expr]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			sig, ok := types.Unalias(tv.Type).(*types.Signature)
+			if !ok {
+				return true
+			}
+			key := sigKey(sig)
+			if addr[key] == nil {
+				addr[key] = map[string]bool{}
+			}
+			addr[key][funcKey(fn)] = true
+			return true
+		})
+	}
+}
+
+// finishLocksafe resolves indirect calls against the address-taken set,
+// then reports every cycle in the accumulated lock-order graph.
+func finishLocksafe(pass *Pass) error {
+	summaries := lsSummaries(pass)
+	edges := lsEdges(pass)
+	addr := lsAddrTaken(pass)
+	for _, p := range *lsPendings(pass) {
+		for fk := range addr[p.sig] {
+			for to := range summaries[fk] {
+				for _, from := range p.helds {
+					if from == to {
+						continue
+					}
+					if _, ok := edges[lsEdge{from, to}]; !ok {
+						edges[lsEdge{from, to}] = p.pos
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: DFS per node over the type-level graph, reporting
+	// each cycle once (canonicalized by its sorted node set).
+	graph := map[string][]string{}
+	for e := range edges {
+		graph[e.from] = append(graph[e.from], e.to)
+	}
+	for from := range graph {
+		sort.Strings(graph[from])
+	}
+	nodes := make([]string, 0, len(graph))
+	for n := range graph {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	seenCycles := map[string]bool{}
+	for _, start := range nodes {
+		path := []string{start}
+		onPath := map[string]bool{start: true}
+		var dfs func(cur string) bool
+		dfs = func(cur string) bool {
+			for _, next := range graph[cur] {
+				if next == start {
+					key := canonicalCycle(path)
+					if !seenCycles[key] {
+						seenCycles[key] = true
+						reportCycle(pass, path, edges)
+					}
+					continue
+				}
+				if onPath[next] {
+					continue
+				}
+				onPath[next] = true
+				path = append(path, next)
+				dfs(next)
+				path = path[:len(path)-1]
+				delete(onPath, next)
+			}
+			return false
+		}
+		dfs(start)
+	}
+	return nil
+}
+
+func canonicalCycle(path []string) string {
+	s := append([]string(nil), path...)
+	sort.Strings(s)
+	return strings.Join(s, "→")
+}
+
+func reportCycle(pass *Pass, path []string, edges map[lsEdge]token.Pos) {
+	// Report at the lexically-first edge of the cycle so the finding is
+	// stable and clickable.
+	pos := token.NoPos
+	for i := range path {
+		e := lsEdge{path[i], path[(i+1)%len(path)]}
+		if p, ok := edges[e]; ok && (pos == token.NoPos || p < pos) {
+			pos = p
+		}
+	}
+	disp := make([]string, 0, len(path)+1)
+	// Rotate so the cycle starts at its smallest token, for determinism.
+	min := 0
+	for i, t := range path {
+		if t < path[min] {
+			min = i
+		}
+	}
+	for i := 0; i <= len(path); i++ {
+		disp = append(disp, shortToken(path[(min+i)%len(path)]))
+	}
+	pass.Reportf(pos, "lock-order cycle: %s — concurrent paths acquiring these locks in different orders can deadlock",
+		strings.Join(disp, " → "))
+}

@@ -1,0 +1,92 @@
+// Package leakres is a leakcheck-analyzer fixture for the resource
+// table: tickers, timers, HTTP response bodies, and journal tail readers
+// must be released on all paths, released by defer, or handed off.
+package leakres
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"logicblox/internal/durable"
+)
+
+// tickerNoStop never stops the ticker.
+func tickerNoStop(d time.Duration) {
+	t := time.NewTicker(d) // want: ticker t may not be released
+	<-t.C
+}
+
+// tickerOnePath stops only on the b path.
+func tickerOnePath(d time.Duration, b bool) {
+	t := time.NewTicker(d) // want: ticker t may not be released
+	<-t.C
+	if b {
+		t.Stop()
+	}
+}
+
+// tickerDeferStop releases on every path, early return included.
+func tickerDeferStop(d time.Duration, b bool) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	if b {
+		return
+	}
+	<-t.C
+}
+
+// timerDiscarded drops the timer on the floor.
+func timerDiscarded(d time.Duration) {
+	time.NewTimer(d) // want: timer returned by time.NewTimer is discarded
+}
+
+// timerStopped is the backoff shape: stop via defer.
+func timerStopped(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// bodyNoClose checks the error but never closes the body.
+func bodyNoClose(url string) error {
+	resp, err := http.Get(url) // want: response body resp may not be released
+	if err != nil {
+		return err
+	}
+	_ = resp.StatusCode
+	return nil
+}
+
+// bodyDeferClose is the idiomatic shape: the err != nil early return is
+// not a leak (no response was produced), and the defer covers the rest.
+func bodyDeferClose(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// tickerEscapes hands the ticker to the caller: ownership moves.
+func tickerEscapes(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t
+}
+
+// tailNoClose never closes the tail reader pinned to r.
+func tailNoClose(r io.Reader) error {
+	tr := durable.NewTailReader(r) // want: tail reader tr may not be released
+	_, err := tr.Next()
+	return err
+}
+
+// tailDeferClose releases the stream on every path.
+func tailDeferClose(r io.Reader) error {
+	tr := durable.NewTailReader(r)
+	defer tr.Close()
+	_, err := tr.Next()
+	return err
+}

@@ -1,0 +1,74 @@
+// Package server is a leakcheck-analyzer fixture for the goroutine
+// rule (gated by package name to the concurrency-dense packages): a
+// goroutine running an unbounded loop must be cancellable — poll a
+// context, select on a done channel, or drain a closeable channel.
+package server
+
+import "context"
+
+type pool struct {
+	jobs chan int
+	done chan struct{}
+	n    int
+}
+
+func work(int) {}
+
+// spinForever can never be stopped or joined.
+func (p *pool) spinForever() {
+	go func() { // want: unbounded loop with no cancellation
+		for {
+			work(p.n)
+		}
+	}()
+}
+
+// fixpointNoPoll replaces its condition variable wholesale — ctxloop's
+// unbounded-fixpoint shape — with no way to cancel it.
+func (p *pool) fixpointNoPoll(next func([]int) []int) {
+	go func() { // want: unbounded loop with no cancellation
+		pending := []int{0}
+		for len(pending) > 0 {
+			pending = next(pending)
+		}
+	}()
+}
+
+// selectDone is the worker shape: the done channel makes it joinable.
+func (p *pool) selectDone() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case j := <-p.jobs:
+				work(j)
+			}
+		}
+	}()
+}
+
+// ctxPoll polls the context at the iteration boundary.
+func (p *pool) ctxPoll(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work(p.n)
+		}
+	}()
+}
+
+// drainRange ranges over a channel the producer closes.
+func (p *pool) drainRange() {
+	go func() {
+		for j := range p.jobs {
+			work(j)
+		}
+	}()
+}
+
+// fireAndForget runs a bounded body: exempt.
+func (p *pool) fireAndForget() {
+	go func() {
+		work(p.n)
+	}()
+}

@@ -1,0 +1,77 @@
+// Package lockorder is a locksafe-analyzer fixture for the repo-wide
+// lock-order graph: two functions acquiring two mutexes in opposite
+// orders form a cycle, directly or through a value of a named function
+// type (the commit-hook shape).
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// abOrder acquires A.mu then B.mu. The cycle with baOrder below is
+// reported once, at the lexically-first conflicting acquisition.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want: lock-order cycle
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// baOrder acquires B.mu then A.mu: the reverse order.
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Hook is a named function type, like core.CommitHook: calls through it
+// resolve against address-taken functions of the same signature.
+type Hook func(int)
+
+type C struct {
+	mu   sync.Mutex
+	hook Hook
+}
+
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// run calls the hook while holding C.mu. With lockedTouch wired in as
+// the hook, this is a C.mu → D.mu edge — and reverse closes the cycle.
+func (c *C) run(x int) {
+	c.mu.Lock()
+	c.hook(x) // want: lock-order cycle
+	c.mu.Unlock()
+}
+
+// lockedTouch acquires D.mu; its address is taken in wire below.
+func (d *D) lockedTouch(x int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n += x
+}
+
+// reverse acquires D.mu then C.mu.
+func (d *D) reverse(c *C) {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func wire(c *C, d *D) {
+	c.hook = d.lockedTouch
+}

@@ -1,0 +1,111 @@
+// Package locks is a locksafe-analyzer fixture: locks leaked across
+// returns and panics, double-locks, and unlocks of unheld locks are
+// flagged; defer-based and branch-balanced release patterns are not.
+package locks
+
+import "sync"
+
+type S struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	seq uint64
+}
+
+// earlyReturn leaks the lock on the b path.
+func (s *S) earlyReturn(b bool) error {
+	s.mu.Lock() // want: may still be held at a return
+	if b {
+		return nil
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// maybeLock acquires on one path only and never releases.
+func (s *S) maybeLock(b bool) {
+	if b {
+		s.mu.Lock() // want: may still be held at a return
+	}
+	s.n++
+}
+
+// double re-acquires the same mutex: self-deadlock.
+func (s *S) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want: deadlocks re-acquiring its own lock
+	s.mu.Unlock()
+}
+
+// upgrade takes the write lock while holding the read lock: deadlock
+// under a concurrent writer.
+func (s *S) upgrade() {
+	s.rw.RLock()
+	s.rw.Lock() // want: deadlocks re-acquiring its own lock
+	s.rw.Unlock()
+	s.rw.RUnlock()
+}
+
+// unheld releases a mutex no path acquired.
+func (s *S) unheld() {
+	s.mu.Unlock() // want: not held on any path
+}
+
+// panics leaks the lock when the explicit panic unwinds.
+func (s *S) panics(b bool) {
+	s.mu.Lock() // want: may still be held at a panic
+	if b {
+		panic("boom")
+	}
+	s.mu.Unlock()
+}
+
+// deferred releases via defer on every path, early returns included.
+func (s *S) deferred(b bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b {
+		return 1
+	}
+	return 2
+}
+
+// deferClosure releases inside a deferred function literal.
+func (s *S) deferClosure() {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	s.n++
+}
+
+// waitLoop is the WaitSeq shape: lock, check, unlock, block, repeat.
+func (s *S) waitLoop(ch chan struct{}, want uint64) {
+	for {
+		s.mu.Lock()
+		done := s.seq >= want
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		<-ch
+	}
+}
+
+// viaGoto releases on both the goto path and the fallthrough path.
+func (s *S) viaGoto(b bool) {
+	s.mu.Lock()
+	if b {
+		goto out
+	}
+	s.n++
+	s.mu.Unlock()
+	return
+out:
+	s.mu.Unlock()
+}
+
+// rlockShared holds the read lock under defer: released on every path.
+func (s *S) rlockShared() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}

@@ -107,12 +107,24 @@ func WriteTailFrame(w io.Writer, f TailFrame) error {
 
 // TailReader decodes a journal-tail stream frame by frame.
 type TailReader struct {
-	r *bufio.Reader
+	r   *bufio.Reader
+	src io.Reader
 }
 
 // NewTailReader wraps r for frame decoding.
 func NewTailReader(r io.Reader) *TailReader {
-	return &TailReader{r: bufio.NewReaderSize(r, 64<<10)}
+	return &TailReader{r: bufio.NewReaderSize(r, 64<<10), src: r}
+}
+
+// Close releases the underlying stream when it is closeable (an HTTP
+// response body, a file). Closing an already-closed source is the
+// source's concern — http bodies tolerate it. A TailReader over a plain
+// byte reader closes to a no-op.
+func (t *TailReader) Close() error {
+	if c, ok := t.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Next returns the next frame. io.EOF means the stream closed cleanly at

@@ -347,6 +347,7 @@ func (f *Follower) tailOnce(ctx context.Context) (progressed bool, err error) {
 	f.setConnected(true)
 
 	tr := durable.NewTailReader(resp.Body)
+	defer tr.Close()
 	for ctx.Err() == nil {
 		frame, err := tr.Next()
 		if err != nil {
